@@ -1,0 +1,133 @@
+// Command cmvrp solves a CMVRP instance described by a JSON demand spec:
+// it computes the offline characterization omega_c, the Algorithm 1
+// capacity estimate, builds and verifies a concrete vehicle schedule, and
+// optionally measures the online capacity Won by simulation.
+//
+// Usage:
+//
+//	cmvrp -spec demand.json [-online] [-show] [-trace] [-seed 1]
+//
+// -show renders ASCII heat maps of the demand and schedule (2-D arenas);
+// -trace streams the online simulation's event log.
+//
+// The spec format:
+//
+//	{
+//	  "arena": [64, 64],
+//	  "demands": [ {"at": [32, 32], "jobs": 500}, ... ]
+//	}
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/demand"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/render"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cmvrp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("cmvrp", flag.ContinueOnError)
+	specPath := fs.String("spec", "", "path to the JSON demand spec (required)")
+	onlineRun := fs.Bool("online", false, "also measure the online capacity Won")
+	show := fs.Bool("show", false, "render demand and schedule heat maps (2-D only)")
+	trace := fs.Bool("trace", false, "stream the online event log (implies -online)")
+	seed := fs.Int64("seed", 1, "determinism seed for the online simulation")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *specPath == "" {
+		return fmt.Errorf("-spec is required")
+	}
+	raw, err := os.ReadFile(*specPath)
+	if err != nil {
+		return err
+	}
+	arena, m, err := demand.ParseSpec(raw)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "instance: %d-D arena, %d jobs at %d positions (max %d per position)\n",
+		arena.Dim(), m.Total(), m.SupportSize(), m.Max())
+
+	if *show && arena.Dim() == 2 {
+		hm, err := render.DemandHeatmap(m, arena)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\ndemand heat map:\n%s\n", hm)
+	}
+
+	char, err := offline.OmegaC(m, arena)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "omega_c (Cor 2.2.7 lower-bound characterization): %.4g (cube side %d)\n",
+		char.Omega, char.Side)
+	if res, err := offline.Algorithm1(m, arena); err == nil {
+		fmt.Fprintf(out, "Algorithm 1 capacity estimate: %.4g (branch %s)\n", res.W, res.Branch)
+	} else {
+		fmt.Fprintf(out, "Algorithm 1 skipped: %v\n", err)
+	}
+	sched, err := offline.BuildSchedule(m, arena)
+	if err != nil {
+		return err
+	}
+	if _, err := offline.VerifySchedule(m, sched, sched.W); err != nil {
+		return fmt.Errorf("schedule failed verification: %w", err)
+	}
+	fmt.Fprintf(out, "verified offline schedule: W = %.4g with %d active vehicles\n",
+		sched.W, len(sched.Plans))
+	if *show && arena.Dim() == 2 {
+		sm, err := render.ScheduleMap(sched, arena)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\nschedule map:\n%s\n", sm)
+	}
+
+	if *onlineRun || *trace {
+		seq, err := demand.SequenceOf(m, demand.OrderSorted, nil)
+		if err != nil {
+			return err
+		}
+		if *trace {
+			w := float64(4*9+2) * math.Max(char.Omega, 1)
+			fmt.Fprintf(out, "\nonline event trace at W = %.4g:\n", w)
+			r, err := online.NewRunner(online.Options{
+				Arena: arena, CubeSide: char.Side, Capacity: w, Seed: *seed,
+				Tracer: &online.WriterTracer{W: out},
+			})
+			if err != nil {
+				return err
+			}
+			res, err := r.Run(seq)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "served %d/%d jobs, %d replacements, %d messages\n",
+				res.Served, seq.Len(), res.Replacements, res.Messages)
+		}
+		won, err := online.MinCapacity(seq, online.Options{
+			Arena: arena, CubeSide: char.Side, Seed: *seed,
+		}, 1, 0.05)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "measured Won (online, sorted arrivals): %.4g (%.2fx omega_c)\n",
+			won, won/math.Max(char.Omega, 1))
+	}
+	return nil
+}

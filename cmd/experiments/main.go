@@ -1,0 +1,54 @@
+// Command experiments regenerates every reproduction table E1..E10 (see
+// DESIGN.md for the index, EXPERIMENTS.md for the recorded outputs) and
+// prints them as markdown.
+//
+// Usage:
+//
+//	experiments [-quick] [-run E7]
+//
+// -quick shrinks instance sizes for a fast smoke run; -run selects a single
+// experiment by id.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	quick := fs.Bool("quick", false, "shrink instance sizes for a fast run")
+	only := fs.String("run", "", "run a single experiment id (e.g. E7)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	tables, err := experiments.All(*quick)
+	if err != nil {
+		return err
+	}
+	want := strings.ToUpper(strings.TrimSpace(*only))
+	printed := 0
+	for _, t := range tables {
+		if want != "" && t.ID != want {
+			continue
+		}
+		fmt.Fprintln(out, t.Markdown())
+		printed++
+	}
+	if printed == 0 {
+		return fmt.Errorf("no experiment matches %q (valid: E1..E10)", *only)
+	}
+	return nil
+}

@@ -1,0 +1,52 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func capture(t *testing.T, args []string) (string, error) {
+	t.Helper()
+	var buf bytes.Buffer
+	runErr := run(args, &buf)
+	return buf.String(), runErr
+}
+
+func TestRunSingleExperiment(t *testing.T) {
+	out, err := capture(t, []string{"-quick", "-run", "E9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "E9") || strings.Contains(out, "E4") {
+		t.Errorf("expected only E9:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := capture(t, []string{"-quick", "-run", "E42"}); err == nil {
+		t.Error("unknown experiment id should fail")
+	}
+}
+
+func TestRunQuickAll(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-all still runs every experiment")
+	}
+	out, err := capture(t, []string{"-quick"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "### E") {
+		t.Fatalf("missing experiment headers:\n%s", out[:200])
+	}
+	if got := strings.Count(out, "### E"); got != 13 {
+		t.Errorf("expected 13 experiment sections, got %d", got)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	if _, err := capture(t, []string{"-definitely-not-a-flag"}); err == nil {
+		t.Error("bad flag should fail")
+	}
+}

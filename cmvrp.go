@@ -1,0 +1,194 @@
+// Package cmvrp is the public API of this reproduction of "On A Capacitated
+// Multivehicle Routing Problem" (Xiaojie Gao, Caltech Ph.D. thesis, 2008).
+//
+// CMVRP places one vehicle with energy capacity W at every vertex of the
+// grid Z^l; moving one step and serving one job each cost one unit. The
+// library answers the thesis' central question — how small can W be? — and
+// ships the thesis' machinery:
+//
+//   - SolveOffline: the cube characterization omega_c (Corollary 2.2.7),
+//     the linear-time Algorithm 1 estimate, and a constructively verified
+//     vehicle schedule realizing Lemma 2.2.5's upper bound;
+//   - ExactLowerBound: the exact LP (2.1) value omega* = max_T omega_T via
+//     max-flow (small instances);
+//   - RunOnline / MeasureWon: the decentralized Chapter 3 strategy built on
+//     Dijkstra-Scholten diffusing computations, with optional monitoring
+//     (Section 3.2.5) and failure injection;
+//   - the Chapter 4 broken-vehicle bounds and the Chapter 5 energy-transfer
+//     analyses, re-exported from their subpackages via thin wrappers.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction record.
+package cmvrp
+
+import (
+	"math/rand"
+
+	"repro/internal/baseline"
+	"repro/internal/broken"
+	"repro/internal/demand"
+	"repro/internal/grid"
+	"repro/internal/lpchar"
+	"repro/internal/offline"
+	"repro/internal/online"
+	"repro/internal/transfer"
+)
+
+// Core vocabulary, aliased from the implementation packages so that all
+// public entry points speak the same types.
+type (
+	// Point is a lattice point of Z^l.
+	Point = grid.Point
+	// Box is an axis-aligned box of lattice points.
+	Box = grid.Box
+	// Arena is a finite simulation grid.
+	Arena = grid.Grid
+	// Demand is a job-count function over lattice points.
+	Demand = demand.Map
+	// Sequence is an ordered stream of unit-job arrivals (the online input).
+	Sequence = demand.Sequence
+	// Schedule is a verified offline vehicle plan.
+	Schedule = offline.Schedule
+	// OnlineOptions configures the Chapter 3 strategy.
+	OnlineOptions = online.Options
+	// OnlineResult reports an online run's outcome and cost metrics.
+	OnlineResult = online.Result
+	// Longevity holds the Chapter 4 breakdown parameters p_i.
+	Longevity = broken.Longevity
+	// ConvoyParams configures the Section 5.2.1 transfer convoy.
+	ConvoyParams = transfer.ConvoyParams
+	// ConvoyResult reports the convoy's closed form and simulation check.
+	ConvoyResult = transfer.ConvoyResult
+)
+
+// Transfer accounting methods (Chapter 5).
+const (
+	FixedCost    = transfer.FixedCost
+	VariableCost = transfer.VariableCost
+)
+
+// P builds a Point from coordinates.
+func P(coords ...int) Point { return grid.P(coords...) }
+
+// NewArena builds a finite grid with the given per-axis sizes.
+func NewArena(sizes ...int) (*Arena, error) { return grid.New(sizes...) }
+
+// NewDemand creates an empty demand function over Z^dim.
+func NewDemand(dim int) *Demand { return demand.NewMap(dim) }
+
+// Manhattan returns the L1 distance (the thesis' travel-cost metric).
+func Manhattan(a, b Point) int { return grid.Manhattan(a, b) }
+
+// Workload generators (thesis Section 2.1 examples and synthetic stress
+// shapes). All are deterministic given the caller's rng.
+var (
+	// SquareDemand is Example 1 (Fig 2.1a): demand d at each point of an
+	// a x a square.
+	SquareDemand = demand.Square
+	// LineDemand is Example 2 (Fig 2.1b): demand d along a line.
+	LineDemand = demand.Line
+	// PointDemand is Example 3 (Fig 2.1c): demand d at one point.
+	PointDemand = demand.PointMass
+	// UniformDemand scatters unit jobs uniformly in a box.
+	UniformDemand = demand.Uniform
+	// ClusterDemand scatters jobs into localized clusters.
+	ClusterDemand = demand.Clusters
+	// ZipfDemand spreads jobs with a heavy-tailed rank-size law.
+	ZipfDemand = demand.Zipf
+)
+
+// Arrival-order policies for ToSequence.
+const (
+	OrderSorted     = demand.OrderSorted
+	OrderShuffled   = demand.OrderShuffled
+	OrderRoundRobin = demand.OrderRoundRobin
+)
+
+// ToSequence expands a demand function into an arrival sequence.
+func ToSequence(m *Demand, order demand.Order, rng *rand.Rand) (*Sequence, error) {
+	return demand.SequenceOf(m, order, rng)
+}
+
+// NewSequence builds a sequence from explicit arrivals.
+func NewSequence(arrivals []Point) *Sequence { return demand.NewSequence(arrivals) }
+
+// OfflineSolution is SolveOffline's answer.
+type OfflineSolution struct {
+	// OmegaC is the Corollary 2.2.7 cube characterization — a lower bound
+	// on Woff up to the dimension constant.
+	OmegaC float64
+	// CubeSide is the partition granularity OmegaC certified.
+	CubeSide int
+	// Alg1W is the thesis Algorithm 1 capacity estimate (power-of-two
+	// arenas only; 0 when the arena shape does not admit it).
+	Alg1W float64
+	// Schedule is a concrete, verifier-checked vehicle plan serving all
+	// demand; Schedule.W is the capacity it certifies as sufficient.
+	Schedule *Schedule
+}
+
+// SolveOffline runs the full offline pipeline of Chapter 2 on a demand
+// function: characterize, estimate, construct, and verify.
+func SolveOffline(m *Demand, arena *Arena) (*OfflineSolution, error) {
+	char, err := offline.OmegaC(m, arena)
+	if err != nil {
+		return nil, err
+	}
+	sol := &OfflineSolution{OmegaC: char.Omega, CubeSide: char.Side}
+	if res, err := offline.Algorithm1(m, arena); err == nil {
+		sol.Alg1W = res.W
+	}
+	sched, err := offline.BuildSchedule(m, arena)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := offline.VerifySchedule(m, sched, sched.W); err != nil {
+		return nil, err
+	}
+	sol.Schedule = sched
+	return sol, nil
+}
+
+// ExactLowerBound computes omega* = max_T omega_T, the exact value of the
+// thesis' self-consistent program (2.8), via max-flow. Cost grows with the
+// demand's spatial spread; intended for small instances and validation.
+func ExactLowerBound(m *Demand) (float64, error) {
+	return lpchar.OmegaStarFlow(m)
+}
+
+// RunOnline executes the Chapter 3 decentralized strategy on an arrival
+// sequence.
+func RunOnline(seq *Sequence, opts OnlineOptions) (*OnlineResult, error) {
+	r, err := online.NewRunner(opts)
+	if err != nil {
+		return nil, err
+	}
+	return r.Run(seq)
+}
+
+// MeasureWon finds the smallest capacity (within relative tol) at which the
+// online strategy serves the whole sequence — the empirical Won.
+func MeasureWon(seq *Sequence, opts OnlineOptions, tol float64) (float64, error) {
+	return online.MinCapacity(seq, opts, 1, tol)
+}
+
+// BrokenLowerBound computes the Theorem 4.1.1 capacity lower bound when
+// vehicles break down according to the longevity parameters.
+func BrokenLowerBound(m *Demand, lon Longevity) (float64, error) {
+	return broken.LowerBound(m, lon)
+}
+
+// Convoy evaluates the Section 5.2.1 transfer convoy on a line and verifies
+// the thesis' closed forms by step-by-step simulation.
+func Convoy(p ConvoyParams) (*ConvoyResult, error) { return transfer.Convoy(p) }
+
+// TransferLowerBound is the Theorem 5.1.1 decay bound on Wtrans-off (2-D).
+func TransferLowerBound(m *Demand) (float64, error) {
+	return transfer.LowerBoundSquares(m)
+}
+
+// GreedyBaseline runs the centralized nearest-available dispatcher for
+// comparison with the thesis strategy.
+func GreedyBaseline(seq *Sequence, arena *Arena, capacity float64) (*baseline.GreedyResult, error) {
+	return baseline.Greedy(seq, arena, capacity)
+}

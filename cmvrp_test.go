@@ -1,0 +1,128 @@
+package cmvrp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPublicOfflinePipeline(t *testing.T) {
+	arena, err := NewArena(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := PointDemand(2, P(8, 8), 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveOffline(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.OmegaC <= 0 || sol.CubeSide < 1 || sol.Schedule == nil {
+		t.Fatalf("solution %+v", sol)
+	}
+	if sol.Schedule.W < sol.OmegaC {
+		t.Errorf("schedule W %v below the lower bound %v", sol.Schedule.W, sol.OmegaC)
+	}
+	lb, err := ExactLowerBound(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Schedule.W < lb*(1-1e-6) {
+		t.Errorf("schedule W %v below exact omega* %v", sol.Schedule.W, lb)
+	}
+}
+
+func TestPublicOnlinePipeline(t *testing.T) {
+	arena, err := NewArena(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	m, err := UniformDemand(rng, mustBox(t), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveOffline(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ToSequence(m, OrderShuffled, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := 38 * math.Max(sol.OmegaC, 1)
+	res, err := RunOnline(seq, OnlineOptions{
+		Arena: arena, CubeSide: sol.CubeSide, Capacity: w, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("online failures: %v", res.Failures)
+	}
+	g, err := GreedyBaseline(seq, arena, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.OK() {
+		t.Error("greedy baseline should also succeed at the theorem capacity")
+	}
+}
+
+func mustBox(t *testing.T) Box {
+	t.Helper()
+	return Box{Lo: P(2, 2), Hi: P(5, 5), Dim: 2}
+}
+
+func TestManhattanExport(t *testing.T) {
+	if Manhattan(P(0, 0), P(3, 4)) != 7 {
+		t.Error("Manhattan export broken")
+	}
+}
+
+func TestBrokenAndTransferExports(t *testing.T) {
+	m, err := PointDemand(2, P(0, 0), 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lb, err := BrokenLowerBound(m, Longevity{Default: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lb <= 0 {
+		t.Error("broken lower bound should be positive")
+	}
+	tb, err := TransferLowerBound(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb <= 0 {
+		t.Error("transfer lower bound should be positive")
+	}
+	res, err := Convoy(ConvoyParams{
+		Demands: []int64{5, 5, 5, 5}, Accounting: FixedCost, A1: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.W <= 0 || res.Slack < -1e-6 {
+		t.Errorf("convoy %+v", res)
+	}
+}
+
+func TestMeasureWonSmall(t *testing.T) {
+	arena, err := NewArena(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSequence([]Point{P(0, 0), P(1, 1), P(2, 2), P(3, 3)})
+	won, err := MeasureWon(seq, OnlineOptions{Arena: arena, CubeSide: 2, Seed: 3}, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if won < 2 || won > 10 {
+		t.Errorf("Won %v out of sane range for 4 spread jobs", won)
+	}
+}

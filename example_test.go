@@ -1,0 +1,86 @@
+package cmvrp_test
+
+import (
+	"fmt"
+	"math"
+
+	cmvrp "repro"
+)
+
+// ExampleSolveOffline characterizes and schedules a point-demand instance
+// (thesis Example 3: an earthquake site all vehicles converge on).
+func ExampleSolveOffline() {
+	arena, err := cmvrp.NewArena(16, 16)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dem, err := cmvrp.PointDemand(2, cmvrp.P(8, 8), 300)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, err := cmvrp.SolveOffline(dem, arena)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("cube side %d, schedule feasible within capacity %.0f\n",
+		sol.CubeSide, sol.Schedule.W)
+	// Output: cube side 4, schedule feasible within capacity 54
+}
+
+// ExampleRunOnline replays jobs through the Chapter 3 distributed strategy
+// at the Theorem 1.4.2 capacity.
+func ExampleRunOnline() {
+	arena, err := cmvrp.NewArena(8, 8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dem, err := cmvrp.PointDemand(2, cmvrp.P(4, 4), 60)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	sol, err := cmvrp.SolveOffline(dem, arena)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	seq, err := cmvrp.ToSequence(dem, cmvrp.OrderSorted, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := cmvrp.RunOnline(seq, cmvrp.OnlineOptions{
+		Arena:    arena,
+		CubeSide: sol.CubeSide,
+		Capacity: 38 * math.Max(sol.OmegaC, 1),
+		Seed:     1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("served %d/60, all jobs ok: %v\n", res.Served, res.OK())
+	// Output: served 60/60, all jobs ok: true
+}
+
+// ExampleConvoy evaluates the Chapter 5 transfer convoy on a pipeline whose
+// far end concentrates all the demand.
+func ExampleConvoy() {
+	demands := make([]int64, 100)
+	demands[99] = 1000
+	res, err := cmvrp.Convoy(cmvrp.ConvoyParams{
+		Demands:    demands,
+		Accounting: cmvrp.FixedCost,
+		A1:         1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("per-vehicle charge %.2f covers 1000 units of demand (avg 10.00)\n", res.W)
+	// Output: per-vehicle charge 13.95 covers 1000 units of demand (avg 10.00)
+}

@@ -1,0 +1,134 @@
+package baseline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+func TestGreedyValidation(t *testing.T) {
+	seq := demand.NewSequence([]grid.Point{grid.P(0, 0)})
+	if _, err := Greedy(seq, nil, 5); err == nil {
+		t.Error("nil arena should fail")
+	}
+	if _, err := Greedy(seq, grid.MustNew(2, 2), 0); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	out := demand.NewSequence([]grid.Point{grid.P(9, 9)})
+	if _, err := Greedy(out, grid.MustNew(2, 2), 5); err == nil {
+		t.Error("out-of-arena arrival should fail")
+	}
+}
+
+func TestGreedyServesLocalJobFirst(t *testing.T) {
+	arena := grid.MustNew(3, 3)
+	seq := demand.NewSequence([]grid.Point{grid.P(1, 1)})
+	res, err := Greedy(seq, arena, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.MaxEnergy != 1 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestGreedyExhaustsAndRecruitsNeighbors(t *testing.T) {
+	arena := grid.MustNew(3, 3)
+	jobs := make([]grid.Point, 12)
+	for i := range jobs {
+		jobs[i] = grid.P(1, 1)
+	}
+	res, err := Greedy(demand.NewSequence(jobs), arena, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Center vehicle serves 4 (energy 4), then 4 neighbors at distance 1
+	// serve 2 more each at cost 2 (walk 1 + serve 1, then serve 1 more each
+	// after relocating)... capacity 4 allows walk+3 serves.
+	if !res.OK() {
+		t.Fatalf("failed %d of 12", res.Failed)
+	}
+	if res.MaxEnergy > 4 {
+		t.Errorf("max energy %v exceeds capacity", res.MaxEnergy)
+	}
+}
+
+func TestGreedyReportsFailures(t *testing.T) {
+	arena := grid.MustNew(2, 2)
+	jobs := make([]grid.Point, 100)
+	for i := range jobs {
+		jobs[i] = grid.P(0, 0)
+	}
+	res, err := Greedy(demand.NewSequence(jobs), arena, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("100 jobs cannot fit in 4 vehicles x capacity 3")
+	}
+	if res.Served == 0 {
+		t.Error("some jobs should be served")
+	}
+	if res.Served+res.Failed != 100 {
+		t.Error("served + failed must equal arrivals")
+	}
+}
+
+func TestGreedyMinCapacityPointDemand(t *testing.T) {
+	// Point demand d on an n x n arena: greedy's requirement should be
+	// within a constant of the omega ~ (d/2)^(1/3) scale.
+	arena := grid.MustNew(17, 17)
+	jobs := make([]grid.Point, 200)
+	for i := range jobs {
+		jobs[i] = grid.P(8, 8)
+	}
+	w, err := GreedyMinCapacity(demand.NewSequence(jobs), arena, 0.02)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scale := math.Cbrt(200.0 / 2)
+	if w < scale/2 || w > scale*8 {
+		t.Errorf("greedy min capacity %v, omega scale %v", w, scale)
+	}
+}
+
+func TestGreedyDeterminism(t *testing.T) {
+	arena := grid.MustNew(6, 6)
+	rng := rand.New(rand.NewSource(5))
+	b, err := grid.NewBox(2, grid.P(0, 0), grid.P(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := demand.Uniform(rng, b, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := demand.SequenceOf(m, demand.OrderShuffled, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Greedy(seq, arena, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := Greedy(seq, arena, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a != *b2 {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b2)
+	}
+}
+
+func TestLocalOnly(t *testing.T) {
+	m, err := demand.PointMass(2, grid.P(0, 0), 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if LocalOnly(m) != 42 {
+		t.Error("local-only requirement must be max demand")
+	}
+}

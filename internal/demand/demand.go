@@ -1,0 +1,144 @@
+// Package demand models CMVRP workloads: a demand function d(x) over lattice
+// points plus an arrival order for the online case. It also provides the
+// synthetic workload generators used throughout the experiments — including
+// the three worked examples of thesis Section 2.1 (square, line, point).
+package demand
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/grid"
+)
+
+// Map is a demand function d: Z^l -> Z (jobs per position), sparse.
+type Map struct {
+	dim   int
+	d     map[grid.Point]int64
+	total int64
+}
+
+// NewMap creates an empty demand map over Z^dim.
+func NewMap(dim int) *Map {
+	return &Map{dim: dim, d: make(map[grid.Point]int64)}
+}
+
+// Dim returns the lattice dimension.
+func (m *Map) Dim() int { return m.dim }
+
+// Add adds n jobs at p. Negative n is rejected.
+func (m *Map) Add(p grid.Point, n int64) error {
+	if n < 0 {
+		return fmt.Errorf("demand: negative job count %d at %v", n, p)
+	}
+	if n == 0 {
+		return nil
+	}
+	m.d[p] += n
+	m.total += n
+	return nil
+}
+
+// At returns d(p).
+func (m *Map) At(p grid.Point) int64 { return m.d[p] }
+
+// Total returns the total number of jobs.
+func (m *Map) Total() int64 { return m.total }
+
+// Max returns the maximum demand D = max_x d(x) (thesis Section 2.3).
+func (m *Map) Max() int64 {
+	var best int64
+	for _, v := range m.d {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Support returns the demand positions in deterministic (sorted) order.
+func (m *Map) Support() []grid.Point {
+	pts := make([]grid.Point, 0, len(m.d))
+	for p := range m.d {
+		pts = append(pts, p)
+	}
+	sort.Slice(pts, func(i, j int) bool { return lessPoint(pts[i], pts[j]) })
+	return pts
+}
+
+// SupportSize returns the number of positions with nonzero demand.
+func (m *Map) SupportSize() int { return len(m.d) }
+
+// BoundingBox returns the smallest box containing the support, or ok=false
+// for an empty map.
+func (m *Map) BoundingBox() (grid.Box, bool) {
+	if len(m.d) == 0 {
+		return grid.Box{}, false
+	}
+	first := true
+	var lo, hi grid.Point
+	for p := range m.d {
+		if first {
+			lo, hi = p, p
+			first = false
+			continue
+		}
+		for i := 0; i < m.dim; i++ {
+			if p[i] < lo[i] {
+				lo[i] = p[i]
+			}
+			if p[i] > hi[i] {
+				hi[i] = p[i]
+			}
+		}
+	}
+	b, err := grid.NewBox(m.dim, lo, hi)
+	if err != nil {
+		return grid.Box{}, false
+	}
+	return b, true
+}
+
+// SumIn returns the total demand inside box b.
+func (m *Map) SumIn(b grid.Box) int64 {
+	var s int64
+	for p, v := range m.d {
+		if b.Contains(p) {
+			s += v
+		}
+	}
+	return s
+}
+
+// Clone returns a deep copy.
+func (m *Map) Clone() *Map {
+	c := NewMap(m.dim)
+	for p, v := range m.d {
+		c.d[p] = v
+	}
+	c.total = m.total
+	return c
+}
+
+// Values renders the demand onto a finite grid as a dense slice indexed by
+// g.Index, for prefix-sum machinery. Demand outside the grid is an error —
+// experiments must size arenas to contain their workloads.
+func (m *Map) Values(g *grid.Grid) ([]int64, error) {
+	vals := make([]int64, g.Len())
+	for p, v := range m.d {
+		if !g.Contains(p) {
+			return nil, fmt.Errorf("demand: position %v outside %dx... arena", p, g.Size(0))
+		}
+		vals[g.Index(p)] = v
+	}
+	return vals, nil
+}
+
+func lessPoint(a, b grid.Point) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}

@@ -1,0 +1,74 @@
+package demand
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Spec is the JSON wire format for a CMVRP instance: an arena plus point
+// demands. Used by cmd/cmvrp and anything else that persists workloads.
+type Spec struct {
+	// Arena holds per-axis sizes (1 to 4 axes).
+	Arena []int `json:"arena"`
+	// Demands lists the nonzero demand positions.
+	Demands []SpecDemand `json:"demands"`
+}
+
+// SpecDemand is one demand entry.
+type SpecDemand struct {
+	At   []int `json:"at"`
+	Jobs int64 `json:"jobs"`
+}
+
+// ParseSpec decodes a JSON instance and materializes the arena and demand
+// map, validating coordinates against the arena.
+func ParseSpec(data []byte) (*grid.Grid, *Map, error) {
+	var spec Spec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return nil, nil, fmt.Errorf("demand: parse spec: %w", err)
+	}
+	arena, err := grid.New(spec.Arena...)
+	if err != nil {
+		return nil, nil, fmt.Errorf("demand: spec arena: %w", err)
+	}
+	m := NewMap(arena.Dim())
+	for i, d := range spec.Demands {
+		if len(d.At) != arena.Dim() {
+			return nil, nil, fmt.Errorf("demand: spec entry %d has %d coordinates for a %d-D arena",
+				i, len(d.At), arena.Dim())
+		}
+		p := grid.P(d.At...)
+		if !arena.Contains(p) {
+			return nil, nil, fmt.Errorf("demand: spec entry %d at %v outside arena", i, p)
+		}
+		if err := m.Add(p, d.Jobs); err != nil {
+			return nil, nil, fmt.Errorf("demand: spec entry %d: %w", i, err)
+		}
+	}
+	return arena, m, nil
+}
+
+// EncodeSpec serializes an arena and demand map back to the JSON format
+// (entries in deterministic support order).
+func EncodeSpec(arena *grid.Grid, m *Map) ([]byte, error) {
+	if m.Dim() != arena.Dim() {
+		return nil, fmt.Errorf("demand: dimension mismatch %d vs %d", m.Dim(), arena.Dim())
+	}
+	spec := Spec{}
+	for i := 0; i < arena.Dim(); i++ {
+		spec.Arena = append(spec.Arena, arena.Size(i))
+	}
+	for _, p := range m.Support() {
+		if !arena.Contains(p) {
+			return nil, fmt.Errorf("demand: position %v outside arena", p)
+		}
+		at := make([]int, arena.Dim())
+		for i := range at {
+			at[i] = p.Coord(i)
+		}
+		spec.Demands = append(spec.Demands, SpecDemand{At: at, Jobs: m.At(p)})
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}

@@ -1,0 +1,247 @@
+// Package diffuse implements the Dijkstra-Scholten diffusing computation of
+// thesis Section 3.1 specialized, as in Section 3.2.3 (Algorithm 2), to a
+// decentralized *search*: an initiator floods query messages through its
+// neighborhood graph; candidate nodes answer true; replies propagate back up
+// the spanning tree built by first-query parent pointers; termination is
+// detected when the initiator's outstanding-reply counter reaches zero. On
+// success the child pointers from initiator to candidate form a path, along
+// which Phase II (thesis Section 3.2.4) forwards an arbitrary payload.
+//
+// The engine is embedded in a host process (the online strategy's vehicle):
+// the host routes diffusion messages into Handle and receives callbacks when
+// a computation it initiated completes and when a payload reaches it as the
+// found candidate.
+package diffuse
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Query is the Phase I probe. Init and Seq identify the computation; the
+// sim layer supplies the sender identity.
+type Query struct {
+	Init sim.NodeID
+	Seq  int
+}
+
+// Reply answers a Query: Found reports whether the subtree below the sender
+// contains a candidate. Init/Seq echo the computation identity.
+type Reply struct {
+	Init  sim.NodeID
+	Seq   int
+	Found bool
+}
+
+// Forward is the Phase II message: it travels along the child pointers of
+// computation (Init, Seq) until it reaches the candidate, which receives the
+// payload.
+type Forward struct {
+	Init    sim.NodeID
+	Seq     int
+	Payload sim.Message
+}
+
+// State is the message-transfer state S2 of thesis Section 3.2.1.
+type State int
+
+// Message-transfer states (Figure 3.1).
+const (
+	// Waiting: not currently partaking in a diffusing computation.
+	Waiting State = iota + 1
+	// Searching: joined a computation and awaiting replies.
+	Searching
+	// Initiator: started the current computation and awaiting replies.
+	Initiator
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Waiting:
+		return "waiting"
+	case Searching:
+		return "searching"
+	case Initiator:
+		return "initiator"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config wires an Engine to its host.
+type Config struct {
+	// Neighbors returns the nodes to flood queries to (for the online
+	// strategy: vehicles within communication range in the same cube).
+	Neighbors func() []sim.NodeID
+	// IsCandidate reports whether this node satisfies the search predicate
+	// (for the online strategy: the vehicle is idle).
+	IsCandidate func() bool
+	// OnComplete fires at the initiator when its computation terminates.
+	// found reports whether a candidate was located.
+	OnComplete func(ctx sim.Sender, seq int, found bool)
+	// OnPayload fires at the candidate when a Phase II payload arrives.
+	OnPayload func(ctx sim.Sender, payload sim.Message)
+}
+
+// Engine holds the per-node Phase I/II protocol state (the local data of
+// thesis Section 3.2.3.2: num, par, child, init).
+type Engine struct {
+	cfg Config
+
+	state State
+	num   int        // outstanding replies
+	par   sim.NodeID // parent in the computation tree
+	child sim.NodeID // first subtree that reported a candidate
+	init  sim.NodeID // initiator of the computation last joined
+	seq   int        // sequence number of the computation last joined
+
+	nextSeq int // local counter for computations this node initiates
+}
+
+// New creates an engine. Neighbors and IsCandidate are required; the
+// callbacks may be nil when the host never initiates / is never a candidate.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Neighbors == nil {
+		return nil, fmt.Errorf("diffuse: Neighbors is required")
+	}
+	if cfg.IsCandidate == nil {
+		return nil, fmt.Errorf("diffuse: IsCandidate is required")
+	}
+	return &Engine{cfg: cfg, state: Waiting, par: sim.None, child: sim.None, init: sim.None}, nil
+}
+
+// State returns the node's current message-transfer state.
+func (e *Engine) State() State { return e.state }
+
+// StartSearch begins a new diffusing computation with this node as the
+// initiator (thesis Algorithm 2, "when a vehicle p uses up its energy").
+// It returns the computation's sequence number. If the node has no
+// neighbors the computation completes immediately (found=false).
+func (e *Engine) StartSearch(ctx sim.Sender) int {
+	e.nextSeq++
+	seq := e.nextSeq
+	e.state = Initiator
+	e.par = sim.None
+	e.child = sim.None
+	e.init = ctx.Self()
+	e.seq = seq
+	neigh := e.cfg.Neighbors()
+	e.num = len(neigh)
+	for _, n := range neigh {
+		ctx.Send(n, Query{Init: ctx.Self(), Seq: seq})
+	}
+	if e.num == 0 {
+		e.state = Waiting
+		if e.cfg.OnComplete != nil {
+			e.cfg.OnComplete(ctx, seq, false)
+		}
+	}
+	return seq
+}
+
+// Handle processes a message if it belongs to the diffusion protocol and
+// reports whether it consumed it. Hosts call this first from OnMessage.
+func (e *Engine) Handle(ctx sim.Sender, from sim.NodeID, msg sim.Message) bool {
+	switch m := msg.(type) {
+	case Query:
+		e.onQuery(ctx, from, m)
+		return true
+	case Reply:
+		e.onReply(ctx, from, m)
+		return true
+	case Forward:
+		e.onForward(ctx, m)
+		return true
+	default:
+		return false
+	}
+}
+
+func (e *Engine) onQuery(ctx sim.Sender, from sim.NodeID, q Query) {
+	fresh := e.init != q.Init || e.seq != q.Seq
+	if e.state != Waiting || !fresh {
+		// Already part of this computation (or busy with another): tell the
+		// sender its tree topology need not change.
+		ctx.Send(from, Reply{Init: q.Init, Seq: q.Seq, Found: false})
+		return
+	}
+	e.par = from
+	e.init = q.Init
+	e.seq = q.Seq
+	e.child = sim.None
+	if e.cfg.IsCandidate() {
+		// An idle node answers immediately and stays waiting; it becomes
+		// the leaf of the search path.
+		ctx.Send(from, Reply{Init: q.Init, Seq: q.Seq, Found: true})
+		return
+	}
+	e.state = Searching
+	neigh := e.cfg.Neighbors()
+	e.num = len(neigh)
+	if e.num == 0 {
+		e.state = Waiting
+		ctx.Send(from, Reply{Init: q.Init, Seq: q.Seq, Found: false})
+		return
+	}
+	for _, n := range neigh {
+		ctx.Send(n, Query{Init: q.Init, Seq: q.Seq})
+	}
+}
+
+func (e *Engine) onReply(ctx sim.Sender, from sim.NodeID, r Reply) {
+	if r.Init != e.init || r.Seq != e.seq || (e.state != Searching && e.state != Initiator) {
+		// Stale reply from an abandoned computation; drop it.
+		return
+	}
+	e.num--
+	if r.Found && e.child == sim.None {
+		e.child = from
+		if e.state == Searching {
+			// Propagate the discovery up immediately (Algorithm 2).
+			ctx.Send(e.par, Reply{Init: r.Init, Seq: r.Seq, Found: true})
+		}
+	}
+	if e.num == 0 {
+		wasInitiator := e.state == Initiator
+		e.state = Waiting
+		if wasInitiator {
+			if e.cfg.OnComplete != nil {
+				e.cfg.OnComplete(ctx, r.Seq, e.child != sim.None)
+			}
+			return
+		}
+		if e.child == sim.None {
+			ctx.Send(e.par, Reply{Init: r.Init, Seq: r.Seq, Found: false})
+		}
+	}
+}
+
+// ForwardPayload launches Phase II from the initiator after a successful
+// search: the payload rides the child chain to the candidate.
+func (e *Engine) ForwardPayload(ctx sim.Sender, seq int, payload sim.Message) error {
+	if e.init != ctx.Self() || e.seq != seq {
+		return fmt.Errorf("diffuse: node %d does not own computation seq %d", ctx.Self(), seq)
+	}
+	if e.child == sim.None {
+		return fmt.Errorf("diffuse: computation %d found no candidate", seq)
+	}
+	ctx.Send(e.child, Forward{Init: ctx.Self(), Seq: seq, Payload: payload})
+	return nil
+}
+
+func (e *Engine) onForward(ctx sim.Sender, f Forward) {
+	if e.init != f.Init || e.seq != f.Seq {
+		// A forward for a computation this node never joined; drop. (Cannot
+		// happen under per-link FIFO, but dropping is the safe behaviour.)
+		return
+	}
+	if e.child != sim.None {
+		ctx.Send(e.child, f)
+		return
+	}
+	if e.cfg.OnPayload != nil {
+		e.cfg.OnPayload(ctx, f.Payload)
+	}
+}

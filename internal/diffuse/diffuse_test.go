@@ -1,0 +1,292 @@
+package diffuse
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// host is a minimal process wrapping an Engine over a fixed graph.
+type host struct {
+	id        sim.NodeID
+	eng       *Engine
+	adj       []sim.NodeID
+	candidate bool
+
+	completions []bool        // found flags, in completion order
+	payloads    []sim.Message // Phase II deliveries
+	autoPayload sim.Message   // forwarded automatically on successful search
+}
+
+func newHost(t *testing.T, id sim.NodeID, adj []sim.NodeID, candidate bool) *host {
+	t.Helper()
+	h := &host{id: id, adj: adj, candidate: candidate}
+	eng, err := New(Config{
+		Neighbors:   func() []sim.NodeID { return h.adj },
+		IsCandidate: func() bool { return h.candidate },
+		OnComplete: func(ctx sim.Sender, seq int, found bool) {
+			h.completions = append(h.completions, found)
+			if found && h.autoPayload != nil {
+				if err := h.eng.ForwardPayload(ctx, seq, h.autoPayload); err != nil {
+					t.Errorf("forward: %v", err)
+				}
+			}
+		},
+		OnPayload: func(_ sim.Sender, payload sim.Message) {
+			h.payloads = append(h.payloads, payload)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.eng = eng
+	return h
+}
+
+func (h *host) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	if h.eng.Handle(ctx, from, msg) {
+		return
+	}
+	if msg == "start" {
+		h.eng.StartSearch(ctx)
+	}
+}
+
+// buildNetwork wires hosts over an undirected adjacency list.
+func buildNetwork(t *testing.T, seed int64, edges [][2]int, n int, candidates map[int]bool) (*sim.Network, []*host) {
+	t.Helper()
+	adj := make([][]sim.NodeID, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], sim.NodeID(e[1]))
+		adj[e[1]] = append(adj[e[1]], sim.NodeID(e[0]))
+	}
+	net := sim.NewNetwork(seed)
+	hosts := make([]*host, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = newHost(t, sim.NodeID(i), adj[i], candidates[i])
+		if err := net.Add(sim.NodeID(i), hosts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, hosts
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{IsCandidate: func() bool { return false }}); err == nil {
+		t.Error("missing Neighbors should fail")
+	}
+	if _, err := New(Config{Neighbors: func() []sim.NodeID { return nil }}); err == nil {
+		t.Error("missing IsCandidate should fail")
+	}
+}
+
+func TestSearchFindsReachableCandidate(t *testing.T) {
+	// Path graph 0-1-2-3 with the only candidate at 3.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	net, hosts := buildNetwork(t, 1, edges, 4, map[int]bool{3: true})
+	hosts[0].autoPayload = "move-to-0"
+	net.Inject(0, "start")
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts[0].completions) != 1 || !hosts[0].completions[0] {
+		t.Fatalf("initiator completions %v", hosts[0].completions)
+	}
+	if len(hosts[3].payloads) != 1 || hosts[3].payloads[0] != "move-to-0" {
+		t.Fatalf("candidate payloads %v", hosts[3].payloads)
+	}
+	for i := 1; i <= 2; i++ {
+		if len(hosts[i].payloads) != 0 {
+			t.Errorf("non-candidate %d received payload", i)
+		}
+	}
+}
+
+func TestSearchNoCandidate(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}}
+	net, hosts := buildNetwork(t, 2, edges, 3, nil)
+	net.Inject(0, "start")
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts[0].completions) != 1 || hosts[0].completions[0] {
+		t.Fatalf("completions %v, want one false", hosts[0].completions)
+	}
+}
+
+func TestSearchIsolatedInitiator(t *testing.T) {
+	net, hosts := buildNetwork(t, 3, nil, 1, nil)
+	net.Inject(0, "start")
+	if err := net.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts[0].completions) != 1 || hosts[0].completions[0] {
+		t.Fatalf("isolated initiator completions %v", hosts[0].completions)
+	}
+}
+
+func TestCandidateNotReachable(t *testing.T) {
+	// Two components: 0-1 and 2-3; candidate only in the far component.
+	edges := [][2]int{{0, 1}, {2, 3}}
+	net, hosts := buildNetwork(t, 4, edges, 4, map[int]bool{3: true})
+	net.Inject(0, "start")
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts[0].completions) != 1 || hosts[0].completions[0] {
+		t.Fatalf("unreachable candidate reported found: %v", hosts[0].completions)
+	}
+}
+
+func TestRepeatedSearchesBySameInitiator(t *testing.T) {
+	// The seq number lets the same initiator run fresh computations: first
+	// search finds the candidate; then the candidate stops being one and a
+	// second search must report not-found.
+	edges := [][2]int{{0, 1}, {1, 2}}
+	net, hosts := buildNetwork(t, 5, edges, 3, map[int]bool{2: true})
+	net.Inject(0, "start")
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	hosts[2].candidate = false
+	net.Inject(0, "start")
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false}
+	if len(hosts[0].completions) != 2 {
+		t.Fatalf("completions %v", hosts[0].completions)
+	}
+	for i, w := range want {
+		if hosts[0].completions[i] != w {
+			t.Fatalf("completion %d = %v, want %v", i, hosts[0].completions[i], w)
+		}
+	}
+}
+
+func TestRandomGraphsAlwaysTerminateAndAreCorrect(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(15)
+		var edges [][2]int
+		for i := 1; i < n; i++ {
+			// Random connected backbone plus extra chords.
+			edges = append(edges, [2]int{rng.Intn(i), i})
+		}
+		for k := 0; k < n/2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		candidates := map[int]bool{}
+		for i := 1; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				candidates[i] = true
+			}
+		}
+		net, hosts := buildNetwork(t, int64(trial), edges, n, candidates)
+		hosts[0].autoPayload = "claim"
+		net.Inject(0, "start")
+		if err := net.Run(1_000_000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if len(hosts[0].completions) != 1 {
+			t.Fatalf("trial %d: completions %v", trial, hosts[0].completions)
+		}
+		found := hosts[0].completions[0]
+		// Graph is connected, so found must equal "any candidate exists".
+		if found != (len(candidates) > 0) {
+			t.Fatalf("trial %d: found=%v but candidates=%v", trial, found, candidates)
+		}
+		delivered := 0
+		for i, h := range hosts {
+			if len(h.payloads) > 0 && !candidates[i] {
+				t.Fatalf("trial %d: payload at non-candidate %d", trial, i)
+			}
+			delivered += len(h.payloads)
+		}
+		if found && delivered != 1 {
+			t.Fatalf("trial %d: payload delivered %d times", trial, delivered)
+		}
+	}
+}
+
+func TestMessageComplexityLinearInEdges(t *testing.T) {
+	// Each edge carries at most a constant number of Phase I messages
+	// (2 queries + 2 replies), so deliveries <= ~4*E + path forwards.
+	n := 40
+	var edges [][2]int
+	for i := 1; i < n; i++ {
+		edges = append(edges, [2]int{i - 1, i})
+	}
+	net, hosts := buildNetwork(t, 9, edges, n, map[int]bool{n - 1: true})
+	hosts[0].autoPayload = "p"
+	net.Inject(0, "start")
+	if err := net.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	maxMsgs := int64(4*len(edges) + n + 1)
+	if net.Delivered() > maxMsgs {
+		t.Errorf("delivered %d messages, budget %d", net.Delivered(), maxMsgs)
+	}
+}
+
+func TestForwardPayloadErrors(t *testing.T) {
+	edges := [][2]int{{0, 1}}
+	net, hosts := buildNetwork(t, 11, edges, 2, nil)
+	net.Inject(0, "start")
+	if err := net.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	// Search failed (no candidates): forwarding must error.
+	fake := &fakeSender{self: 0}
+	if err := hosts[0].eng.ForwardPayload(fake, 1, "x"); err == nil {
+		t.Error("forwarding without a candidate should fail")
+	}
+	if err := hosts[0].eng.ForwardPayload(fake, 99, "x"); err == nil {
+		t.Error("forwarding an unknown seq should fail")
+	}
+	if err := hosts[1].eng.ForwardPayload(&fakeSender{self: 1}, 1, "x"); err == nil {
+		t.Error("non-initiator forwarding should fail")
+	}
+}
+
+type fakeSender struct {
+	self sim.NodeID
+	sent []sim.Message
+}
+
+func (f *fakeSender) Self() sim.NodeID { return f.self }
+func (f *fakeSender) Send(_ sim.NodeID, msg sim.Message) {
+	f.sent = append(f.sent, msg)
+}
+
+func TestStateString(t *testing.T) {
+	for _, s := range []State{Waiting, Searching, Initiator, State(42)} {
+		if s.String() == "" {
+			t.Errorf("empty string for state %d", int(s))
+		}
+	}
+}
+
+func TestStateTransitions(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}}
+	net, hosts := buildNetwork(t, 13, edges, 3, map[int]bool{2: true})
+	for _, h := range hosts {
+		if h.eng.State() != Waiting {
+			t.Fatalf("node %d initial state %v", h.id, h.eng.State())
+		}
+	}
+	net.Inject(0, "start")
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	// After quiescence everyone is back to waiting (Figure 3.1's cycle).
+	for _, h := range hosts {
+		if h.eng.State() != Waiting {
+			t.Errorf("node %d final state %v, want waiting", h.id, h.eng.State())
+		}
+	}
+}

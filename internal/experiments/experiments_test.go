@@ -1,0 +1,272 @@
+package experiments
+
+import (
+	"math/rand"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a float: %v", s, err)
+	}
+	return v
+}
+
+func TestE1SquareOmegaApproachesD(t *testing.T) {
+	tbl, err := E1Square([]int{4, 64, 1024}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	// omega/d in the last column must increase toward 1 as a grows.
+	prev := 0.0
+	for _, row := range tbl.Rows {
+		r := parseF(t, row[4])
+		if r <= prev || r > 1.0+1e-9 {
+			t.Fatalf("omega/d sequence broken: %v after %v", r, prev)
+		}
+		prev = r
+	}
+	if prev < 0.85 {
+		t.Errorf("omega/d = %v at a=1024; should approach 1", prev)
+	}
+}
+
+func TestE2LineStrategyFeasibleAndSqrtScaling(t *testing.T) {
+	tbl, err := E2Line([]int64{8, 32, 128, 512}, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "true" {
+			t.Errorf("d=%s: 2*W2 strategy reported infeasible", row[0])
+		}
+	}
+	// Quadrupling d should roughly double W2 (sqrt scaling).
+	w2a, w2b := parseF(t, tbl.Rows[0][1]), parseF(t, tbl.Rows[1][1])
+	if ratio := w2b / w2a; ratio < 1.7 || ratio > 2.3 {
+		t.Errorf("W2 scaling ratio %v, want ~2 for 4x demand", ratio)
+	}
+}
+
+func TestE3PointStrategyFeasibleAndCbrtScaling(t *testing.T) {
+	tbl, err := E3Point([]int64{64, 4096, 262144})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[4] != "true" {
+			t.Errorf("d=%s: 3*W3 strategy reported infeasible", row[0])
+		}
+	}
+	// 64x demand should ~4x W3 (cube-root scaling).
+	w3a, w3b := parseF(t, tbl.Rows[0][1]), parseF(t, tbl.Rows[1][1])
+	if ratio := w3b / w3a; ratio < 3.3 || ratio > 4.7 {
+		t.Errorf("W3 scaling ratio %v, want ~4 for 64x demand", ratio)
+	}
+}
+
+func TestE4AllTrialsAgree(t *testing.T) {
+	tbl, err := E4Duality(10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if row[7] != "true" {
+			t.Errorf("trial %s: flow and subset values disagree (%s vs %s)",
+				row[0], row[4], row[5])
+		}
+	}
+}
+
+func TestE5RatiosWithinBound(t *testing.T) {
+	tbl, err := E5ApproxQuality(32, 800, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		ratio := parseF(t, row[5])
+		bound := parseF(t, row[6])
+		if ratio > bound+4 { // +4 integer-budget slack, as in offline tests
+			t.Errorf("%s: schedule ratio %v exceeds bound %v", row[0], ratio, bound)
+		}
+	}
+}
+
+func TestE6RoughlyLinear(t *testing.T) {
+	tbl, err := E6Runtime([]int{64, 256}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perCellSmall := parseF(t, tbl.Rows[0][4])
+	perCellLarge := parseF(t, tbl.Rows[1][4])
+	// 16x the cells should not blow up per-cell cost by more than ~6x
+	// (cache effects allowed; superlinear algorithms would show 16x+).
+	if perCellLarge > 6*perCellSmall+50 {
+		t.Errorf("per-cell cost grew from %v to %v ns: not linear", perCellSmall, perCellLarge)
+	}
+}
+
+func TestE7WonWithinTheoremBound(t *testing.T) {
+	tbl, err := E7Online(8, 80, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		won := parseF(t, row[2])
+		bound := parseF(t, row[4])
+		if won > bound*1.05 {
+			t.Errorf("%s: Won %v exceeds theorem bound %v", row[0], won, bound)
+		}
+	}
+}
+
+func TestE8MessagesScaleWithCube(t *testing.T) {
+	tbl, err := E8Diffusion([]int{2, 6}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small := parseF(t, tbl.Rows[0][7])
+	large := parseF(t, tbl.Rows[1][7])
+	if large <= small {
+		t.Errorf("msgs/replacement should grow with cube size: %v -> %v", small, large)
+	}
+}
+
+func TestE9GapGrows(t *testing.T) {
+	tbl, err := E9Broken([]int{2, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parseF(t, tbl.Rows[1][4]) <= parseF(t, tbl.Rows[0][4]) {
+		t.Error("gap ratio must grow with r1")
+	}
+}
+
+func TestE10ConvoyGainGrowsWithN(t *testing.T) {
+	tbl, err := E10Transfers([]int{128, 1024}, 2500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Rows come in (N, fixed), (N, variable) order; compare fixed rows.
+	gainSmall := parseF(t, tbl.Rows[0][5])
+	gainLarge := parseF(t, tbl.Rows[2][5])
+	if gainLarge <= gainSmall {
+		t.Errorf("gain should grow with N: %v -> %v", gainSmall, gainLarge)
+	}
+	if gainLarge <= 1 {
+		t.Errorf("at N=1024 the convoy must beat no-transfer, gain %v", gainLarge)
+	}
+	// The C=W decay bound stays the same order as omega* regardless of N.
+	omega := parseF(t, tbl.Rows[0][4])
+	decay := parseF(t, tbl.Rows[0][6])
+	if decay < omega/20 || decay > omega*20 {
+		t.Errorf("decay bound %v not Theta(omega* %v)", decay, omega)
+	}
+}
+
+func TestAllQuickRunsEverything(t *testing.T) {
+	tables, err := All(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 13 {
+		t.Fatalf("got %d tables, want 13", len(tables))
+	}
+	ids := map[string]bool{}
+	for _, tbl := range tables {
+		if len(tbl.Rows) == 0 {
+			t.Errorf("%s: empty table", tbl.ID)
+		}
+		ids[tbl.ID] = true
+		md := tbl.Markdown()
+		if !strings.Contains(md, tbl.Title) || !strings.Contains(md, "| --- |") {
+			t.Errorf("%s: malformed markdown", tbl.ID)
+		}
+	}
+	for i := 1; i <= 13; i++ {
+		id := "E" + strconv.Itoa(i)
+		if !ids[id] {
+			t.Errorf("missing experiment %s", id)
+		}
+	}
+}
+
+func TestE13MonitoringServesEverything(t *testing.T) {
+	tbl, err := E13Robustness([]float64{0, 1}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		if !strings.HasPrefix(row[2], "50/") {
+			t.Errorf("fraction %s: monitoring-on served %s, want all 50", row[0], row[2])
+		}
+	}
+	// With every initiator failing and no monitoring, service must degrade.
+	last := tbl.Rows[len(tbl.Rows)-1]
+	if strings.HasPrefix(last[1], "50/") {
+		t.Error("monitoring-off at fraction 1 should drop jobs")
+	}
+}
+
+func TestE11DoublingWithinFactorTwo(t *testing.T) {
+	tbl, err := E11Ablations(8, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tbl.Rows {
+		ratio := parseF(t, row[3])
+		if ratio > 1.0+1e-9 || ratio < 0.45 {
+			t.Errorf("%s: doubling/full ratio %v outside (0.45, 1]", row[0], ratio)
+		}
+		overhead := parseF(t, row[6])
+		if overhead < 1 {
+			t.Errorf("%s: monitoring overhead %v below 1", row[0], overhead)
+		}
+	}
+}
+
+func TestE12RatiosBelowAnalyticBound(t *testing.T) {
+	tbl, err := E12DimensionSweep(4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows %d", len(tbl.Rows))
+	}
+	for _, row := range tbl.Rows {
+		ratio := parseF(t, row[3])
+		bound := parseF(t, row[4])
+		if ratio > bound+4 {
+			t.Errorf("l=%s: measured ratio %v above analytic bound %v", row[0], ratio, bound)
+		}
+	}
+}
+
+func TestWorkloadUnknown(t *testing.T) {
+	arena := grid.MustNew(8, 8)
+	if _, err := workload("nope", arena, rand.New(rand.NewSource(1)), 1); err == nil {
+		t.Error("unknown workload should fail")
+	}
+}
+
+func TestOmegaScaleCheck(t *testing.T) {
+	if omegaScaleCheck(1000) <= 0 {
+		t.Error("scale check should be positive")
+	}
+}
+
+func TestBisect(t *testing.T) {
+	root := bisect(func(x float64) float64 { return x*x - 9 }, 0, 1, 1e-9)
+	if root < 2.999999 || root > 3.000001 {
+		t.Errorf("bisect root %v", root)
+	}
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+	"repro/internal/lpchar"
+	"repro/internal/offline"
+)
+
+// E4Duality regenerates the Lemma 2.2.1-2.2.3 duality chain empirically: on
+// random small instances, the flow-computed LP (2.1) value must equal the
+// closed form max_T sum(d)/|N_r(T)| over all subsets, with the box-family
+// maximum sandwiched below.
+func E4Duality(trials int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E4",
+		Title: "LP (2.1) duality chain (Lemmas 2.2.1-2.2.3)",
+		Columns: []string{"trial", "dim", "r", "support", "LP via max-flow",
+			"max_T sum(d)/|N_r(T)|", "max over boxes", "flow == subsets"},
+		Notes: "Lemma 2.2.2 says columns 5 and 6 are equal; boxes (Cor 2.2.6's family) lower-bound them.",
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for trial := 0; trial < trials; trial++ {
+		dim := 1 + rng.Intn(2)
+		m := demand.NewMap(dim)
+		points := 2 + rng.Intn(5)
+		for i := 0; i < points; i++ {
+			var p grid.Point
+			for a := 0; a < dim; a++ {
+				p[a] = int32(rng.Intn(6))
+			}
+			if err := m.Add(p, 1+rng.Int63n(20)); err != nil {
+				return nil, err
+			}
+		}
+		r := rng.Intn(4)
+		flowV, err := lpchar.FlowValue(m, r)
+		if err != nil {
+			return nil, err
+		}
+		subsetV, err := lpchar.SubsetValue(m, r)
+		if err != nil {
+			return nil, err
+		}
+		boxV, _, err := lpchar.MaxOverBoxes(m, r)
+		if err != nil {
+			return nil, err
+		}
+		equal := math.Abs(flowV-subsetV) <= 1e-6*math.Max(1, subsetV)
+		t.AddRow(trial, dim, r, m.SupportSize(), flowV, subsetV, boxV, equal)
+	}
+	return t, nil
+}
+
+// workload builds one of the named synthetic workloads inside the arena's
+// safe interior.
+func workload(name string, arena *grid.Grid, rng *rand.Rand, jobs int64) (*demand.Map, error) {
+	n := arena.Size(0)
+	inner, err := grid.NewBox(2, grid.P(n/4, n/4), grid.P(3*n/4-1, 3*n/4-1))
+	if err != nil {
+		return nil, err
+	}
+	switch name {
+	case "uniform":
+		return demand.Uniform(rng, inner, jobs)
+	case "clusters":
+		return demand.Clusters(rng, inner, 4, jobs/4, n/16+1)
+	case "zipf":
+		return demand.Zipf(rng, inner, jobs, 1.4)
+	case "point":
+		return demand.PointMass(2, grid.P(n/2, n/2), jobs)
+	case "line":
+		return demand.Line(grid.P(n/4, n/2), n/2, jobs/int64(n/2))
+	default:
+		return nil, fmt.Errorf("experiments: unknown workload %q", name)
+	}
+}
+
+// E5ApproxQuality measures Algorithm 1 and the constructive schedule against
+// the cube lower bound omega_c across workloads (Theorem 1.4.1 /
+// Lemma 2.2.5 / Section 2.3). Ratio columns must stay below the analytic
+// constants: schedule/omega_c <= 2*3^l+l = 20 and Alg1 is a
+// 2(2*3^l+l)-approximation.
+func E5ApproxQuality(n int, jobs int64, seed int64) (*Table, error) {
+	t := &Table{
+		ID:    "E5",
+		Title: fmt.Sprintf("offline approximation quality (n=%d, %d jobs)", n, jobs),
+		Columns: []string{"workload", "omega_c", "Alg1 W", "Alg1 branch",
+			"schedule W", "schedule/omega_c", "bound 2*3^l+l"},
+		Notes: "omega_c lower-bounds Woff (Cor 2.2.7); the built schedule certifies an upper bound within 2*3^l+l of it (Lemma 2.2.5).",
+	}
+	arena := grid.MustNew(n, n)
+	bound := float64(2*9 + 2)
+	for _, name := range []string{"uniform", "clusters", "zipf", "point", "line"} {
+		rng := rand.New(rand.NewSource(seed))
+		m, err := workload(name, arena, rng, jobs)
+		if err != nil {
+			return nil, err
+		}
+		char, err := offline.OmegaC(m, arena)
+		if err != nil {
+			return nil, err
+		}
+		res, err := offline.Algorithm1(m, arena)
+		if err != nil {
+			return nil, err
+		}
+		sched, err := offline.BuildSchedule(m, arena)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := offline.VerifySchedule(m, sched, sched.W); err != nil {
+			return nil, fmt.Errorf("experiments: %s schedule invalid: %w", name, err)
+		}
+		ratio := sched.W / math.Max(char.Omega, 1)
+		t.AddRow(name, char.Omega, res.W, res.Branch.String(), sched.W, ratio, bound)
+	}
+	return t, nil
+}
+
+// E6Runtime measures Algorithm 1's wall-clock scaling: the thesis proves
+// O(n^l) total work, so ns/cell should be roughly flat as n doubles.
+func E6Runtime(sizes []int, seed int64) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Title:   "Algorithm 1 runtime scaling (Section 2.3: O(n^l))",
+		Columns: []string{"n", "cells", "total", "ns/run", "ns/cell"},
+		Notes:   "Linear time: the last column stays near-constant while n quadruples the cell count.",
+	}
+	for _, n := range sizes {
+		arena := grid.MustNew(n, n)
+		rng := rand.New(rand.NewSource(seed))
+		inner, err := grid.NewBox(2, grid.P(n/4, n/4), grid.P(3*n/4-1, 3*n/4-1))
+		if err != nil {
+			return nil, err
+		}
+		m, err := demand.Uniform(rng, inner, int64(n)*int64(n))
+		if err != nil {
+			return nil, err
+		}
+		// Warm once, then time a few runs.
+		if _, err := offline.Algorithm1(m, arena); err != nil {
+			return nil, err
+		}
+		const reps = 5
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if _, err := offline.Algorithm1(m, arena); err != nil {
+				return nil, err
+			}
+		}
+		elapsed := time.Since(start) / reps
+		cells := arena.Len()
+		t.AddRow(n, cells, m.Total(), elapsed.Nanoseconds(),
+			float64(elapsed.Nanoseconds())/float64(cells))
+	}
+	return t, nil
+}

@@ -1,0 +1,78 @@
+// Package experiments regenerates every reproducible artifact of the thesis
+// — the worked examples of Section 2.1, the duality chain of Section 2.2,
+// Algorithm 1's approximation quality and runtime, the online strategy of
+// Chapter 3, the broken-vehicle gap of Chapter 4, and the transfer results
+// of Chapter 5 — as deterministic, printable tables. Experiment IDs E1..E10
+// are indexed in DESIGN.md and recorded against the thesis in
+// EXPERIMENTS.md. Both cmd/experiments and the repository benchmarks call
+// into this package so the published numbers and the benchmarked code paths
+// are identical.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment's output: a titled grid of rendered cells.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   string
+}
+
+// AddRow appends a row, formatting each value with %v (floats as %.4g).
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Markdown renders the table as GitHub-flavored markdown.
+func (t *Table) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s: %s\n\n", t.ID, t.Title)
+	b.WriteString("| " + strings.Join(t.Columns, " | ") + " |\n")
+	seps := make([]string, len(t.Columns))
+	for i := range seps {
+		seps[i] = "---"
+	}
+	b.WriteString("| " + strings.Join(seps, " | ") + " |\n")
+	for _, row := range t.Rows {
+		b.WriteString("| " + strings.Join(row, " | ") + " |\n")
+	}
+	if t.Notes != "" {
+		b.WriteString("\n" + t.Notes + "\n")
+	}
+	return b.String()
+}
+
+// bisect finds the root of the increasing function f (f(lo) < 0 < f(hi)
+// after bracket growth) to absolute tolerance tol.
+func bisect(f func(float64) float64, lo, hi, tol float64) float64 {
+	for f(hi) < 0 {
+		lo = hi
+		hi *= 2
+		if hi > 1e15 {
+			return hi
+		}
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if f(mid) < 0 {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return (lo + hi) / 2
+}

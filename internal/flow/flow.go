@@ -1,0 +1,126 @@
+// Package flow implements Dinic's maximum-flow algorithm over float64
+// capacities. CMVRP uses it as the feasibility oracle for the thesis' linear
+// program (2.1): for a candidate capacity omega, supplies omega at every
+// vehicle, demands d(j) at every customer, and arcs i->j for positions
+// within the allowed radius — the LP is feasible iff max-flow saturates the
+// total demand.
+package flow
+
+import (
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance under which residual capacities are treated as zero.
+const Eps = 1e-9
+
+// Network is a directed flow network under construction. Nodes are dense
+// integer ids 0..n-1.
+type Network struct {
+	n     int
+	heads []int32 // adjacency list heads, -1 terminated
+	to    []int32
+	next  []int32
+	cap   []float64
+}
+
+// NewNetwork creates a network with n nodes and no edges.
+func NewNetwork(n int) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("flow: need at least 2 nodes, got %d", n)
+	}
+	heads := make([]int32, n)
+	for i := range heads {
+		heads[i] = -1
+	}
+	return &Network{n: n, heads: heads}, nil
+}
+
+// N returns the node count.
+func (nw *Network) N() int { return nw.n }
+
+// AddEdge adds a directed edge u->v with the given capacity (and an implicit
+// residual reverse edge of capacity 0). Returns the edge id, usable with
+// Flow after a MaxFlow run.
+func (nw *Network) AddEdge(u, v int, capacity float64) (int, error) {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		return 0, fmt.Errorf("flow: edge (%d,%d) out of range [0,%d)", u, v, nw.n)
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		return 0, fmt.Errorf("flow: invalid capacity %v", capacity)
+	}
+	id := len(nw.to)
+	nw.to = append(nw.to, int32(v), int32(u))
+	nw.cap = append(nw.cap, capacity, 0)
+	nw.next = append(nw.next, nw.heads[u], nw.heads[v])
+	nw.heads[u] = int32(id)
+	nw.heads[v] = int32(id + 1)
+	return id, nil
+}
+
+// Flow returns the flow currently pushed through edge id (after MaxFlow).
+func (nw *Network) Flow(id int) float64 { return nw.cap[id^1] }
+
+// MaxFlow computes the maximum s-t flow with Dinic's algorithm and returns
+// its value. The network retains the flow (inspect with Flow); calling
+// MaxFlow again continues from the current residual state, so use a fresh
+// network per computation.
+func (nw *Network) MaxFlow(s, t int) (float64, error) {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n || s == t {
+		return 0, fmt.Errorf("flow: bad terminals s=%d t=%d", s, t)
+	}
+	level := make([]int32, nw.n)
+	iter := make([]int32, nw.n)
+	queue := make([]int32, 0, nw.n)
+	total := 0.0
+	for {
+		// BFS level graph.
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], int32(s))
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for e := nw.heads[u]; e != -1; e = nw.next[e] {
+				v := nw.to[e]
+				if nw.cap[e] > Eps && level[v] < 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		if level[t] < 0 {
+			return total, nil
+		}
+		copy(iter, nw.heads)
+		// Blocking flow via iterative DFS.
+		for {
+			pushed := nw.dfs(s, t, math.Inf(1), level, iter)
+			if pushed <= Eps {
+				break
+			}
+			total += pushed
+		}
+	}
+}
+
+func (nw *Network) dfs(u, t int, limit float64, level, iter []int32) float64 {
+	if u == t {
+		return limit
+	}
+	for ; iter[u] != -1; iter[u] = nw.next[iter[u]] {
+		e := iter[u]
+		v := int(nw.to[e])
+		if nw.cap[e] > Eps && level[v] == level[u]+1 {
+			d := nw.dfs(v, t, math.Min(limit, nw.cap[e]), level, iter)
+			if d > Eps {
+				nw.cap[e] -= d
+				nw.cap[e^1] += d
+				return d
+			}
+		}
+	}
+	level[u] = -2 // dead end on this phase
+	return 0
+}

@@ -1,0 +1,65 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func BenchmarkNeighborhoodCount(b *testing.B) {
+	box, err := NewBox(2, P(0, 0), P(15, 15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NeighborhoodCount(box, int64(i%1000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSolveOmega(b *testing.B) {
+	box, err := NewBox(2, P(0, 0), P(7, 7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		SolveOmega(box, float64(1+i%100000))
+	}
+}
+
+func BenchmarkPrefixSumBuild(b *testing.B) {
+	g := MustNew(128, 128)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, g.Len())
+	for i := range vals {
+		vals[i] = rng.Int63n(100)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPrefixSum(g, vals); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMaxCubeSum(b *testing.B) {
+	g := MustNew(128, 128)
+	rng := rand.New(rand.NewSource(1))
+	vals := make([]int64, g.Len())
+	for i := range vals {
+		vals[i] = rng.Int63n(100)
+	}
+	ps, err := NewPrefixSum(g, vals)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, ok := ps.MaxCubeSum(1 + i%64); !ok {
+			b.Fatal("cube does not fit")
+		}
+	}
+}

@@ -1,0 +1,254 @@
+package grid
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Box is an axis-aligned box of lattice points, inclusive on both ends, in a
+// lattice of dimension Dim. Unused dimensions must have Lo=Hi=0 so that the
+// side length is 1 and does not perturb counting formulas.
+type Box struct {
+	Lo, Hi Point
+	Dim    int
+}
+
+// ErrOverflow is returned when an exact lattice count exceeds int64 range.
+var ErrOverflow = errors.New("grid: lattice count overflows int64")
+
+// NewBox constructs a box spanning lo..hi inclusive in dimension dim.
+func NewBox(dim int, lo, hi Point) (Box, error) {
+	if dim < 1 || dim > MaxDim {
+		return Box{}, fmt.Errorf("grid: dimension %d out of range [1,%d]", dim, MaxDim)
+	}
+	for i := 0; i < dim; i++ {
+		if lo[i] > hi[i] {
+			return Box{}, fmt.Errorf("grid: box lo%v > hi%v in axis %d", lo, hi, i)
+		}
+	}
+	for i := dim; i < MaxDim; i++ {
+		if lo[i] != 0 || hi[i] != 0 {
+			return Box{}, fmt.Errorf("grid: coordinates beyond dim %d must be zero", dim)
+		}
+	}
+	return Box{Lo: lo, Hi: hi, Dim: dim}, nil
+}
+
+// Cube returns the dim-dimensional cube with the given corner and side
+// length. side must be >= 1.
+func Cube(dim int, corner Point, side int) (Box, error) {
+	if side < 1 {
+		return Box{}, fmt.Errorf("grid: cube side %d must be >= 1", side)
+	}
+	hi := corner
+	for i := 0; i < dim; i++ {
+		hi[i] += int32(side - 1)
+	}
+	return NewBox(dim, corner, hi)
+}
+
+// Side returns the number of lattice points along axis i.
+func (b Box) Side(i int) int64 { return int64(b.Hi[i]-b.Lo[i]) + 1 }
+
+// Volume returns the number of lattice points in the box.
+func (b Box) Volume() int64 {
+	v := int64(1)
+	for i := 0; i < b.Dim; i++ {
+		v *= b.Side(i)
+	}
+	return v
+}
+
+// Contains reports whether p lies inside the box.
+func (b Box) Contains(p Point) bool {
+	for i := 0; i < b.Dim; i++ {
+		if p[i] < b.Lo[i] || p[i] > b.Hi[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Dist returns the L1 distance from p to the box (0 if p is inside).
+func (b Box) Dist(p Point) int {
+	d := 0
+	for i := 0; i < b.Dim; i++ {
+		switch {
+		case p[i] < b.Lo[i]:
+			d += int(b.Lo[i] - p[i])
+		case p[i] > b.Hi[i]:
+			d += int(p[i] - b.Hi[i])
+		}
+	}
+	return d
+}
+
+// Expand returns the box grown by r lattice steps in every axis direction.
+// Note Expand(r) is the *bounding box* of N_r(b), not N_r(b) itself (the L1
+// neighborhood has diamond-shaped corners).
+func (b Box) Expand(r int) Box {
+	e := b
+	for i := 0; i < b.Dim; i++ {
+		e.Lo[i] -= int32(r)
+		e.Hi[i] += int32(r)
+	}
+	return e
+}
+
+// Points enumerates all lattice points in the box in row-major order.
+func (b Box) Points() []Point {
+	n := b.Volume()
+	out := make([]Point, 0, n)
+	p := b.Lo
+	for {
+		out = append(out, p)
+		axis := b.Dim - 1
+		for axis >= 0 {
+			p[axis]++
+			if p[axis] <= b.Hi[axis] {
+				break
+			}
+			p[axis] = b.Lo[axis]
+			axis--
+		}
+		if axis < 0 {
+			return out
+		}
+	}
+}
+
+// binomial returns C(n, k) as int64, or an overflow error. k is tiny
+// (k <= MaxDim) so the product form is exact with intermediate checks.
+func binomial(n int64, k int) (int64, error) {
+	if k < 0 || n < 0 {
+		return 0, nil
+	}
+	if int64(k) > n {
+		return 0, nil
+	}
+	result := int64(1)
+	for i := 1; i <= k; i++ {
+		// Multiply before divide stays exact because result always holds
+		// C(n, i-1) * (partial numerator), and C(n,i)*i! fits whenever the
+		// final product fits; guard multiplication against overflow.
+		f := n - int64(k-i)
+		if result > math.MaxInt64/f {
+			return 0, ErrOverflow
+		}
+		result = result * f / int64(i)
+	}
+	return result, nil
+}
+
+// NeighborhoodCount returns |N_r(b)| exactly: the number of lattice points of
+// Z^dim within L1 distance r of the box b. This is the central counting
+// primitive of the thesis (the denominator of omega_T in eq. 1.1).
+//
+// Derivation: a point at offset vector t (t_i = distance outside the box
+// along axis i, 0 if within the slab) is in N_r iff sum t_i <= r. Axis i
+// contributes a_i positions when t_i = 0 and exactly 2 positions (one per
+// side) for each t_i >= 1. Grouping by the set S of axes with t_i >= 1:
+//
+//	|N_r(b)| = sum over k=0..dim of 2^k * C(r, k) * e_{dim-k}(a)
+//
+// where e_j is the elementary symmetric polynomial of the side lengths a and
+// C(r, k) counts positive integer k-vectors with sum <= r.
+func NeighborhoodCount(b Box, r int64) (int64, error) {
+	if r < 0 {
+		return 0, fmt.Errorf("grid: negative radius %d", r)
+	}
+	sides := make([]int64, b.Dim)
+	for i := range sides {
+		sides[i] = b.Side(i)
+	}
+	elem := elementarySymmetric(sides)
+	total := int64(0)
+	pow2 := int64(1)
+	for k := 0; k <= b.Dim; k++ {
+		c, err := binomial(r, k)
+		if err != nil {
+			return 0, err
+		}
+		e := elem[b.Dim-k]
+		term, err := mulChecked(pow2, c)
+		if err != nil {
+			return 0, err
+		}
+		term, err = mulChecked(term, e)
+		if err != nil {
+			return 0, err
+		}
+		if total > math.MaxInt64-term {
+			return 0, ErrOverflow
+		}
+		total += term
+		pow2 *= 2
+	}
+	return total, nil
+}
+
+// NeighborhoodCountFloat is NeighborhoodCount in float64 arithmetic, used by
+// the omega solvers where r can be large and a relative error of ~1e-12 is
+// irrelevant next to the thesis' constant factors.
+func NeighborhoodCountFloat(b Box, r float64) float64 {
+	if r < 0 {
+		return 0
+	}
+	rf := math.Floor(r)
+	sides := make([]int64, b.Dim)
+	for i := range sides {
+		sides[i] = b.Side(i)
+	}
+	elem := elementarySymmetric(sides)
+	total := 0.0
+	pow2 := 1.0
+	for k := 0; k <= b.Dim; k++ {
+		c := 1.0
+		for i := 1; i <= k; i++ {
+			c *= (rf - float64(k-i)) / float64(i)
+		}
+		if c < 0 {
+			c = 0
+		}
+		total += pow2 * c * float64(elem[b.Dim-k])
+		pow2 *= 2
+	}
+	return total
+}
+
+func mulChecked(a, b int64) (int64, error) {
+	if a == 0 || b == 0 {
+		return 0, nil
+	}
+	if a > math.MaxInt64/b {
+		return 0, ErrOverflow
+	}
+	return a * b, nil
+}
+
+// elementarySymmetric returns [e_0, e_1, ..., e_n] for the given values.
+func elementarySymmetric(vals []int64) []int64 {
+	e := make([]int64, len(vals)+1)
+	e[0] = 1
+	for _, v := range vals {
+		for j := len(vals); j >= 1; j-- {
+			e[j] += e[j-1] * v
+		}
+	}
+	return e
+}
+
+// NeighborhoodPoints enumerates N_r(b) explicitly by scanning the bounding
+// box. It is O(volume of Expand(r)) and exists to cross-check the closed
+// form in tests and to drive small exact LP instances.
+func NeighborhoodPoints(b Box, r int) []Point {
+	bound := b.Expand(r)
+	var out []Point
+	for _, p := range bound.Points() {
+		if b.Dist(p) <= r {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,196 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustBox(t *testing.T, dim int, lo, hi Point) Box {
+	t.Helper()
+	b, err := NewBox(dim, lo, hi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestNewBoxValidation(t *testing.T) {
+	if _, err := NewBox(0, P(0), P(0)); err == nil {
+		t.Error("dim 0 should fail")
+	}
+	if _, err := NewBox(2, P(1, 0), P(0, 0)); err == nil {
+		t.Error("lo > hi should fail")
+	}
+	if _, err := NewBox(1, P(0, 5), P(0, 5)); err == nil {
+		t.Error("nonzero coordinate beyond dim should fail")
+	}
+}
+
+func TestCube(t *testing.T) {
+	c, err := Cube(2, P(3, 4), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Lo != P(3, 4) || c.Hi != P(7, 8) {
+		t.Fatalf("cube bounds %v..%v", c.Lo, c.Hi)
+	}
+	if c.Volume() != 25 {
+		t.Fatalf("volume %d", c.Volume())
+	}
+	if _, err := Cube(2, P(0, 0), 0); err == nil {
+		t.Error("side 0 should fail")
+	}
+}
+
+func TestBoxDist(t *testing.T) {
+	b := mustBox(t, 2, P(0, 0), P(2, 2))
+	tests := []struct {
+		p    Point
+		want int
+	}{
+		{P(1, 1), 0},
+		{P(0, 0), 0},
+		{P(3, 1), 1},
+		{P(-2, 1), 2},
+		{P(4, 5), 5},
+		{P(-1, -1), 2},
+	}
+	for _, tt := range tests {
+		if got := b.Dist(tt.p); got != tt.want {
+			t.Errorf("Dist(%v) = %d, want %d", tt.p, got, tt.want)
+		}
+	}
+}
+
+func TestBoxPoints(t *testing.T) {
+	b := mustBox(t, 2, P(0, 0), P(1, 2))
+	pts := b.Points()
+	if int64(len(pts)) != b.Volume() {
+		t.Fatalf("got %d points, want %d", len(pts), b.Volume())
+	}
+	seen := make(map[Point]bool, len(pts))
+	for _, p := range pts {
+		if !b.Contains(p) {
+			t.Errorf("point %v outside box", p)
+		}
+		if seen[p] {
+			t.Errorf("duplicate point %v", p)
+		}
+		seen[p] = true
+	}
+}
+
+func TestNeighborhoodCountKnownValues(t *testing.T) {
+	// L1 ball sizes around a single point: 1-D: 2r+1; 2-D: 2r^2+2r+1.
+	pt := mustBox(t, 2, P(0, 0), P(0, 0))
+	for r := int64(0); r <= 10; r++ {
+		want := 2*r*r + 2*r + 1
+		got, err := NeighborhoodCount(pt, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("2-D ball r=%d: got %d, want %d", r, got, want)
+		}
+	}
+	line := mustBox(t, 1, P(0), P(9))
+	got, err := NeighborhoodCount(line, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 10+6 { // segment of 10 plus 3 each side
+		t.Errorf("1-D segment: got %d, want 16", got)
+	}
+}
+
+func TestNeighborhoodCountMatchesEnumeration(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		dim := 1 + rng.Intn(3)
+		var lo, hi Point
+		for i := 0; i < dim; i++ {
+			lo[i] = int32(rng.Intn(5) - 2)
+			hi[i] = lo[i] + int32(rng.Intn(4))
+		}
+		b, err := NewBox(dim, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := rng.Intn(6)
+		want := int64(len(NeighborhoodPoints(b, r)))
+		got, err := NeighborhoodCount(b, int64(r))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("dim=%d box=%v..%v r=%d: closed form %d, enumeration %d",
+				dim, lo, hi, r, got, want)
+		}
+		gotF := NeighborhoodCountFloat(b, float64(r)+0.7)
+		if int64(gotF+0.5) != want {
+			t.Errorf("float count mismatch: %v vs %d", gotF, want)
+		}
+	}
+}
+
+func TestNeighborhoodCountNegativeRadius(t *testing.T) {
+	b := mustBox(t, 2, P(0, 0), P(1, 1))
+	if _, err := NeighborhoodCount(b, -1); err == nil {
+		t.Error("negative radius should error")
+	}
+	if NeighborhoodCountFloat(b, -2) != 0 {
+		t.Error("float count for negative radius should be 0")
+	}
+}
+
+func TestBinomial(t *testing.T) {
+	tests := []struct {
+		n    int64
+		k    int
+		want int64
+	}{
+		{0, 0, 1}, {5, 0, 1}, {5, 1, 5}, {5, 2, 10}, {5, 5, 1},
+		{5, 6, 0}, {10, 3, 120}, {52, 4, 270725},
+	}
+	for _, tt := range tests {
+		got, err := binomial(tt.n, tt.k)
+		if err != nil {
+			t.Fatalf("binomial(%d,%d): %v", tt.n, tt.k, err)
+		}
+		if got != tt.want {
+			t.Errorf("binomial(%d,%d) = %d, want %d", tt.n, tt.k, got, tt.want)
+		}
+	}
+}
+
+func TestElementarySymmetric(t *testing.T) {
+	e := elementarySymmetric([]int64{2, 3, 4})
+	want := []int64{1, 9, 26, 24}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Fatalf("e = %v, want %v", e, want)
+		}
+	}
+}
+
+func TestExpandContainsNeighborhood(t *testing.T) {
+	f := func(lox, loy, w, h uint8, r uint8) bool {
+		b, err := NewBox(2, P(int(lox%10), int(loy%10)),
+			P(int(lox%10)+int(w%5), int(loy%10)+int(h%5)))
+		if err != nil {
+			return false
+		}
+		rr := int(r % 6)
+		exp := b.Expand(rr)
+		for _, p := range NeighborhoodPoints(b, rr) {
+			if !exp.Contains(p) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

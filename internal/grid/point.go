@@ -1,0 +1,130 @@
+// Package grid provides geometry for the l-dimensional integer lattice Z^l
+// under the Manhattan (L1) metric, the substrate every CMVRP component is
+// built on: points, boxes, exact closed-form neighborhood counting
+// |N_r(box)|, finite grids with prefix sums, and the omega_T equation solver
+// from the thesis (eq. 1.1).
+package grid
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// MaxDim is the largest supported lattice dimension. The thesis analyzes
+// general l but all applications use l <= 3; 4 leaves headroom for tests.
+const MaxDim = 4
+
+// Point is a lattice point in Z^l. Coordinates beyond the active dimension
+// must be zero so that Point is directly comparable and usable as a map key.
+type Point [MaxDim]int32
+
+// P builds a Point from the given coordinates. Coordinates beyond MaxDim are
+// rejected at construction time by panicking; this is a programming error,
+// not a runtime condition, so a panic is appropriate (initialization-only).
+func P(coords ...int) Point {
+	if len(coords) > MaxDim {
+		panic("grid: too many coordinates for Point")
+	}
+	var p Point
+	for i, c := range coords {
+		p[i] = int32(c)
+	}
+	return p
+}
+
+// Coord returns the i-th coordinate as an int.
+func (p Point) Coord(i int) int { return int(p[i]) }
+
+// Add returns p translated by q (component-wise sum).
+func (p Point) Add(q Point) Point {
+	var r Point
+	for i := range p {
+		r[i] = p[i] + q[i]
+	}
+	return r
+}
+
+// Sub returns p - q component-wise.
+func (p Point) Sub(q Point) Point {
+	var r Point
+	for i := range p {
+		r[i] = p[i] - q[i]
+	}
+	return r
+}
+
+// CoordSum returns the sum of all coordinates. The online strategy's
+// chessboard coloring (Section 3.2) colors a vertex black when the sum of its
+// coordinates is even.
+func (p Point) CoordSum() int {
+	s := 0
+	for i := range p {
+		s += int(p[i])
+	}
+	return s
+}
+
+// String renders the point as "(x,y,...)" using the first dim nonzero-width
+// coordinates; it always prints MaxDim coordinates' prefix up to the last
+// nonzero, minimum 2, which is readable for the common 2-D case.
+func (p Point) String() string {
+	last := 1
+	for i := 2; i < MaxDim; i++ {
+		if p[i] != 0 {
+			last = i
+		}
+	}
+	parts := make([]string, 0, last+1)
+	for i := 0; i <= last; i++ {
+		parts = append(parts, strconv.Itoa(int(p[i])))
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Manhattan returns the L1 distance between a and b, the travel cost metric
+// of the thesis (1 unit of energy per unit of rectilinear distance).
+func Manhattan(a, b Point) int {
+	d := 0
+	for i := range a {
+		delta := int(a[i] - b[i])
+		if delta < 0 {
+			delta = -delta
+		}
+		d += delta
+	}
+	return d
+}
+
+// Adjacent reports whether a and b are lattice neighbors (distance exactly 1).
+func Adjacent(a, b Point) bool { return Manhattan(a, b) == 1 }
+
+// Color is the chessboard color of a vertex per Section 3.2 of the thesis.
+type Color int
+
+// Vertex colors. Black vertices host the initially active vehicles.
+const (
+	Black Color = iota + 1
+	White
+)
+
+// String implements fmt.Stringer for Color.
+func (c Color) String() string {
+	switch c {
+	case Black:
+		return "black"
+	case White:
+		return "white"
+	default:
+		return fmt.Sprintf("Color(%d)", int(c))
+	}
+}
+
+// ColorOf returns the chessboard color of p: black iff the coordinate sum is
+// even (thesis Section 3.2).
+func ColorOf(p Point) Color {
+	if p.CoordSum()%2 == 0 {
+		return Black
+	}
+	return White
+}

@@ -1,0 +1,117 @@
+package grid
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPConstruction(t *testing.T) {
+	p := P(3, -2)
+	if p.Coord(0) != 3 || p.Coord(1) != -2 || p.Coord(2) != 0 {
+		t.Fatalf("P(3,-2) = %v", p)
+	}
+}
+
+func TestPTooManyCoordsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for >MaxDim coordinates")
+		}
+	}()
+	P(1, 2, 3, 4, 5)
+}
+
+func TestManhattan(t *testing.T) {
+	tests := []struct {
+		name string
+		a, b Point
+		want int
+	}{
+		{"same point", P(1, 2), P(1, 2), 0},
+		{"unit step x", P(0, 0), P(1, 0), 1},
+		{"unit step y", P(0, 0), P(0, -1), 1},
+		{"diagonal", P(0, 0), P(3, 4), 7},
+		{"negative coords", P(-2, -3), P(2, 3), 10},
+		{"3d", P(1, 1, 1), P(2, 3, 5), 7},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Manhattan(tt.a, tt.b); got != tt.want {
+				t.Errorf("Manhattan(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestManhattanMetricProperties(t *testing.T) {
+	// Symmetry and triangle inequality, the metric axioms the energy
+	// accounting depends on.
+	f := func(ax, ay, bx, by, cx, cy int8) bool {
+		a, b, c := P(int(ax), int(ay)), P(int(bx), int(by)), P(int(cx), int(cy))
+		if Manhattan(a, b) != Manhattan(b, a) {
+			return false
+		}
+		if Manhattan(a, c) > Manhattan(a, b)+Manhattan(b, c) {
+			return false
+		}
+		return Manhattan(a, b) >= 0 && (Manhattan(a, b) == 0) == (a == b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSub(t *testing.T) {
+	a, b := P(1, 2, 3), P(4, -5, 6)
+	if got := a.Add(b); got != P(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Add(b).Sub(b); got != a {
+		t.Errorf("Add then Sub = %v, want %v", got, a)
+	}
+}
+
+func TestColorOf(t *testing.T) {
+	if ColorOf(P(0, 0)) != Black {
+		t.Error("origin should be black")
+	}
+	if ColorOf(P(0, 1)) != White {
+		t.Error("(0,1) should be white")
+	}
+	if ColorOf(P(1, 1)) != Black {
+		t.Error("(1,1) should be black")
+	}
+	// Adjacent points always have opposite colors (bipartiteness, which the
+	// online strategy's pairing relies on).
+	f := func(x, y int8, axis uint8, dir bool) bool {
+		p := P(int(x), int(y))
+		q := p
+		d := int32(1)
+		if !dir {
+			d = -1
+		}
+		q[axis%2] += d
+		return ColorOf(p) != ColorOf(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPointString(t *testing.T) {
+	if s := P(1, -2).String(); s != "(1,-2)" {
+		t.Errorf("String = %q", s)
+	}
+	if s := P(1, 2, 3).String(); s != "(1,2,3)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestColorString(t *testing.T) {
+	if Black.String() != "black" || White.String() != "white" {
+		t.Error("color names wrong")
+	}
+	if Color(99).String() == "" {
+		t.Error("unknown color should still render")
+	}
+}

@@ -1,0 +1,61 @@
+package lpchar
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+func benchDemand(b *testing.B, points int) *demand.Map {
+	b.Helper()
+	rng := rand.New(rand.NewSource(9))
+	m := demand.NewMap(2)
+	for i := 0; i < points; i++ {
+		p := grid.P(rng.Intn(10), rng.Intn(10))
+		if err := m.Add(p, 1+rng.Int63n(30)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+func BenchmarkFlowValue(b *testing.B) {
+	m := benchDemand(b, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := FlowValue(m, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubsetValue(b *testing.B) {
+	m := benchDemand(b, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SubsetValue(m, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOmegaStarCubes(b *testing.B) {
+	arena := grid.MustNew(64, 64)
+	rng := rand.New(rand.NewSource(9))
+	inner, err := grid.NewBox(2, grid.P(16, 16), grid.P(47, 47))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := demand.Uniform(rng, inner, 4000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OmegaStarCubes(m, arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

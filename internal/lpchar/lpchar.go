@@ -1,0 +1,370 @@
+// Package lpchar computes the value of the thesis' linear program (2.1) —
+// the minimal vehicle capacity omega that lets supply omega at every lattice
+// point cover the demand d(j) when transports are limited to radius r — by
+// three independent routes:
+//
+//  1. FlowValue: binary search on omega with a Dinic max-flow feasibility
+//     oracle (exact up to binary-search tolerance);
+//  2. SubsetValue: Lemma 2.2.2's closed form max_T sum(d)/|N_r(T)| by
+//     brute-force enumeration of subsets T of the demand support (exact,
+//     tiny instances only);
+//  3. MaxOverCubes / MaxOverBoxes: the same maximization restricted to the
+//     cube family Gamma of Corollary 2.2.6 using the closed-form
+//     neighborhood count.
+//
+// Agreement of (1) and (2) on random instances is the reproduction of the
+// duality chain Lemmas 2.2.1-2.2.3 (experiment E4). The package also solves
+// the self-consistent program (2.8), where the radius equals the capacity,
+// yielding omega* = max_T omega_T (Lemma 2.2.3).
+package lpchar
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/bits"
+
+	"repro/internal/demand"
+	"repro/internal/flow"
+	"repro/internal/grid"
+)
+
+// ErrTooLarge is returned when an instance exceeds a solver's exact-method
+// limits (subset enumeration, dense supply graphs).
+var ErrTooLarge = errors.New("lpchar: instance too large for exact method")
+
+// maxSubsetSupport bounds SubsetValue's 2^k enumeration.
+const maxSubsetSupport = 18
+
+// supplyPoints enumerates every lattice point of Z^l within distance r of
+// the demand support — exactly the vehicles that can participate in LP (2.1).
+func supplyPoints(m *demand.Map, r int) []grid.Point {
+	support := m.Support()
+	seen := make(map[grid.Point]bool)
+	var out []grid.Point
+	for _, s := range support {
+		b, err := grid.NewBox(m.Dim(), s, s)
+		if err != nil {
+			continue
+		}
+		for _, p := range grid.NeighborhoodPoints(b, r) {
+			if !seen[p] {
+				seen[p] = true
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// Feasible reports whether capacity omega suffices for radius-r transports:
+// the transportation polytope of LP (2.1) with the given omega is nonempty.
+func Feasible(m *demand.Map, r int, omega float64) (bool, error) {
+	total := float64(m.Total())
+	if total == 0 {
+		return true, nil
+	}
+	if omega <= 0 {
+		return false, nil
+	}
+	support := m.Support()
+	suppliers := supplyPoints(m, r)
+	// Node layout: 0 = source, 1..len(suppliers) = suppliers,
+	// then demands, then sink.
+	n := 2 + len(suppliers) + len(support)
+	nw, err := flow.NewNetwork(n)
+	if err != nil {
+		return false, err
+	}
+	src, sink := 0, n-1
+	supIdx := make(map[grid.Point]int, len(suppliers))
+	for i, p := range suppliers {
+		supIdx[p] = 1 + i
+		if _, err := nw.AddEdge(src, 1+i, omega); err != nil {
+			return false, err
+		}
+	}
+	for j, q := range support {
+		dj := 1 + len(suppliers) + j
+		if _, err := nw.AddEdge(dj, sink, float64(m.At(q))); err != nil {
+			return false, err
+		}
+		qb, err := grid.NewBox(m.Dim(), q, q)
+		if err != nil {
+			return false, err
+		}
+		for _, p := range grid.NeighborhoodPoints(qb, r) {
+			if si, ok := supIdx[p]; ok {
+				if _, err := nw.AddEdge(si, dj, math.Inf(1)); err != nil {
+					return false, err
+				}
+			}
+		}
+	}
+	val, err := nw.MaxFlow(src, sink)
+	if err != nil {
+		return false, err
+	}
+	return val >= total*(1-1e-9)-1e-9, nil
+}
+
+// FlowValue computes the exact value of LP (2.1) for radius r by binary
+// search on omega with the max-flow feasibility oracle.
+func FlowValue(m *demand.Map, r int) (float64, error) {
+	if m.Total() == 0 {
+		return 0, nil
+	}
+	lo, hi := 0.0, float64(m.Max())
+	// max_j d(j) is always feasible (each point serves itself), so hi works.
+	for iter := 0; iter < 60 && hi-lo > 1e-9*math.Max(1, hi); iter++ {
+		mid := (lo + hi) / 2
+		ok, err := Feasible(m, r, mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// SubsetValue computes max over all subsets T of the support of
+// sum_{x in T} d(x) / |N_r(T)| — the closed form of Lemma 2.2.2 — by exact
+// enumeration. Only the support matters: adding a zero-demand point to T
+// leaves the numerator unchanged and can only grow the denominator.
+func SubsetValue(m *demand.Map, r int) (float64, error) {
+	support := m.Support()
+	k := len(support)
+	if k == 0 {
+		return 0, nil
+	}
+	if k > maxSubsetSupport {
+		return 0, fmt.Errorf("%w: support %d > %d", ErrTooLarge, k, maxSubsetSupport)
+	}
+	// For each lattice point p near the support, record the bitmask of
+	// support points within distance r. |N_r(T)| = number of points whose
+	// mask intersects T = total - #points whose mask avoids T, and the
+	// avoid-counts come from a subset-sum (SOS) transform.
+	cover := make(map[grid.Point]uint32)
+	for i, s := range support {
+		b, err := grid.NewBox(m.Dim(), s, s)
+		if err != nil {
+			return 0, err
+		}
+		for _, p := range grid.NeighborhoodPoints(b, r) {
+			cover[p] |= 1 << i
+		}
+	}
+	cnt := make([]int64, 1<<k)
+	for _, mask := range cover {
+		cnt[mask]++
+	}
+	// f[S] = number of points whose mask is a subset of S.
+	f := make([]int64, 1<<k)
+	copy(f, cnt)
+	for bit := 0; bit < k; bit++ {
+		for s := 0; s < 1<<k; s++ {
+			if s&(1<<bit) != 0 {
+				f[s] += f[s&^(1<<bit)]
+			}
+		}
+	}
+	totalPoints := int64(len(cover))
+	demands := make([]int64, k)
+	for i, s := range support {
+		demands[i] = m.At(s)
+	}
+	full := (1 << k) - 1
+	best := 0.0
+	for tmask := 1; tmask <= full; tmask++ {
+		neigh := totalPoints - f[full^tmask]
+		if neigh == 0 {
+			continue
+		}
+		var dsum int64
+		for mm := tmask; mm != 0; mm &= mm - 1 {
+			dsum += demands[bits.TrailingZeros32(uint32(mm))]
+		}
+		if v := float64(dsum) / float64(neigh); v > best {
+			best = v
+		}
+	}
+	return best, nil
+}
+
+// MaxOverBoxes maximizes sum(d in T)/|N_r(T)| over all axis-aligned boxes T
+// inside the support's bounding box, using the exact closed-form
+// neighborhood count. This realizes Corollary 2.2.6's simpler family
+// (enlarged from cubes to all boxes, still a lower bound on the subset max).
+func MaxOverBoxes(m *demand.Map, r int) (float64, grid.Box, error) {
+	bbox, ok := m.BoundingBox()
+	if !ok {
+		return 0, grid.Box{}, nil
+	}
+	if bbox.Volume() > 1<<14 {
+		return 0, grid.Box{}, fmt.Errorf("%w: bbox volume %d", ErrTooLarge, bbox.Volume())
+	}
+	best := 0.0
+	var bestBox grid.Box
+	dim := m.Dim()
+	var lo, hi grid.Point
+	var rec func(axis int)
+	rec = func(axis int) {
+		if axis == dim {
+			b, err := grid.NewBox(dim, lo, hi)
+			if err != nil {
+				return
+			}
+			dsum := m.SumIn(b)
+			if dsum == 0 {
+				return
+			}
+			neigh := grid.NeighborhoodCountFloat(b, float64(r))
+			if v := float64(dsum) / neigh; v > best {
+				best, bestBox = v, b
+			}
+			return
+		}
+		for a := bbox.Lo[axis]; a <= bbox.Hi[axis]; a++ {
+			for b := a; b <= bbox.Hi[axis]; b++ {
+				lo[axis], hi[axis] = a, b
+				rec(axis + 1)
+			}
+		}
+		lo[axis], hi[axis] = 0, 0
+	}
+	rec(0)
+	return best, bestBox, nil
+}
+
+// OmegaStarFlow solves the self-consistent program (2.8) — radius equals
+// capacity — exactly: the unique omega with omega = LPvalue(r=floor(omega)).
+// LPvalue(r) is non-increasing in r (Lemma 2.2.3's proof), so g(r) =
+// LPvalue(r) - r is strictly decreasing and a binary search on the integer
+// radius bracket followed by one LP evaluation pins the fixed point.
+func OmegaStarFlow(m *demand.Map) (float64, error) {
+	if m.Total() == 0 {
+		return 0, nil
+	}
+	// Find smallest integer R with LPvalue(R) <= R+1; the fixed point lies
+	// in radius segment [R, R+1). Bracket exponentially from small radii:
+	// evaluating the LP at radius R costs O(R^l) supplier enumeration, so
+	// probing near the (small) fixed point first matters enormously for
+	// concentrated demands.
+	hi := 1
+	for {
+		v, err := FlowValue(m, hi)
+		if err != nil {
+			return 0, err
+		}
+		if v <= float64(hi+1) {
+			break
+		}
+		hi *= 2
+		if int64(hi) > m.Max()+1 {
+			break // LPvalue(r) <= max demand always, so this cannot recur
+		}
+	}
+	lo := 0
+	for lo < hi {
+		mid := (lo + hi) / 2
+		v, err := FlowValue(m, mid)
+		if err != nil {
+			return 0, err
+		}
+		if v <= float64(mid+1) {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	r := lo
+	v, err := FlowValue(m, r)
+	if err != nil {
+		return 0, err
+	}
+	// Within the segment the LP value is the constant v (radius floor(omega)
+	// = r); the self-consistent solution is omega = v clamped to [r, r+1].
+	if v < float64(r) {
+		return float64(r), nil
+	}
+	if v > float64(r+1) {
+		return float64(r + 1), nil
+	}
+	return v, nil
+}
+
+// OmegaStarCubes computes max over all cubes T (every side length s >= 1,
+// every position inside the arena) of omega_T, the cube form of the thesis'
+// lower bound (Corollaries 2.2.4 + 2.2.6). For a fixed side length only the
+// maximal cube sum matters, because omega_T is monotone in the demand for a
+// fixed shape, so one prefix-sum sweep per side length suffices.
+func OmegaStarCubes(m *demand.Map, arena *grid.Grid) (float64, error) {
+	vals, err := m.Values(arena)
+	if err != nil {
+		return 0, err
+	}
+	ps, err := grid.NewPrefixSum(arena, vals)
+	if err != nil {
+		return 0, err
+	}
+	maxSide := arena.Size(0)
+	for i := 1; i < arena.Dim(); i++ {
+		if s := arena.Size(i); s < maxSide {
+			maxSide = s
+		}
+	}
+	best := 0.0
+	for s := 1; s <= maxSide; s++ {
+		sum, _, ok := ps.MaxCubeSum(s)
+		if !ok || sum <= 0 {
+			continue
+		}
+		cube, err := grid.Cube(arena.Dim(), grid.Point{}, s)
+		if err != nil {
+			return 0, err
+		}
+		if w := grid.SolveOmega(cube, float64(sum)); w > best {
+			best = w
+		}
+	}
+	return best, nil
+}
+
+// OmegaStarCubesDoubling is OmegaStarCubes restricted to power-of-two side
+// lengths — the granularity Algorithm 1 actually inspects. Exposed for the
+// ablation comparing full against doubling granularity.
+func OmegaStarCubesDoubling(m *demand.Map, arena *grid.Grid) (float64, error) {
+	vals, err := m.Values(arena)
+	if err != nil {
+		return 0, err
+	}
+	ps, err := grid.NewPrefixSum(arena, vals)
+	if err != nil {
+		return 0, err
+	}
+	maxSide := arena.Size(0)
+	for i := 1; i < arena.Dim(); i++ {
+		if s := arena.Size(i); s < maxSide {
+			maxSide = s
+		}
+	}
+	best := 0.0
+	for s := 1; s <= maxSide; s *= 2 {
+		sum, _, ok := ps.MaxCubeSum(s)
+		if !ok || sum <= 0 {
+			continue
+		}
+		cube, err := grid.Cube(arena.Dim(), grid.Point{}, s)
+		if err != nil {
+			return 0, err
+		}
+		if w := grid.SolveOmega(cube, float64(sum)); w > best {
+			best = w
+		}
+	}
+	return best, nil
+}

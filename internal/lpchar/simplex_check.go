@@ -1,0 +1,93 @@
+package lpchar
+
+import (
+	"fmt"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+	"repro/internal/simplex"
+)
+
+// maxSimplexArcs bounds the explicit LP's size.
+const maxSimplexArcs = 4000
+
+// SimplexValue solves LP (2.1) by building it *explicitly* — variables
+// omega and one flow f_ij per (supplier, demand) arc within radius r — and
+// running the dense simplex solver. It is deliberately the most literal
+// transcription of the thesis' program, used as a third independent check
+// against FlowValue (combinatorial) and SubsetValue (the Lemma 2.2.2 closed
+// form) on small instances.
+//
+// Standard form: maximize -omega subject to
+//
+//	sum_j f_ij - omega <= 0        (supplier capacity, one row per i)
+//	-sum_i f_ij <= -d(j)           (demand coverage, one row per j)
+//	all variables >= 0.
+func SimplexValue(m *demand.Map, r int) (float64, error) {
+	if m.Total() == 0 {
+		return 0, nil
+	}
+	support := m.Support()
+	suppliers := supplyPoints(m, r)
+	type arc struct{ i, j int }
+	var arcs []arc
+	supIdx := make(map[grid.Point]int, len(suppliers))
+	for i, p := range suppliers {
+		supIdx[p] = i
+	}
+	for j, q := range support {
+		qb, err := grid.NewBox(m.Dim(), q, q)
+		if err != nil {
+			return 0, err
+		}
+		for _, p := range grid.NeighborhoodPoints(qb, r) {
+			if i, ok := supIdx[p]; ok {
+				arcs = append(arcs, arc{i: i, j: j})
+			}
+		}
+	}
+	if len(arcs) > maxSimplexArcs {
+		return 0, fmt.Errorf("%w: %d arcs > %d", ErrTooLarge, len(arcs), maxSimplexArcs)
+	}
+	// Variable layout: x[0] = omega, x[1+k] = flow on arcs[k].
+	nVars := 1 + len(arcs)
+	prob := simplex.Problem{C: make([]float64, nVars)}
+	prob.C[0] = -1 // maximize -omega
+	// Supplier rows.
+	for i := range suppliers {
+		row := make([]float64, nVars)
+		row[0] = -1
+		for k, a := range arcs {
+			if a.i == i {
+				row[1+k] = 1
+			}
+		}
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, 0)
+	}
+	// Demand rows.
+	for j, q := range support {
+		row := make([]float64, nVars)
+		for k, a := range arcs {
+			if a.j == j {
+				row[1+k] = -1
+			}
+		}
+		prob.A = append(prob.A, row)
+		prob.B = append(prob.B, -float64(m.At(q)))
+	}
+	sol, err := simplex.Solve(prob)
+	if err != nil {
+		return 0, err
+	}
+	switch sol.Status {
+	case simplex.Optimal:
+		return -sol.Value, nil
+	case simplex.Infeasible:
+		// Cannot happen: every demand point is its own supplier, so omega =
+		// max d is always feasible. Surface it as a bug.
+		return 0, fmt.Errorf("lpchar: explicit LP infeasible (radius %d)", r)
+	default:
+		return 0, fmt.Errorf("lpchar: explicit LP %v (radius %d)", sol.Status, r)
+	}
+}

@@ -1,0 +1,90 @@
+package lpchar
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// TestThreeWayAgreement is the strongest form of the E4 duality check: the
+// combinatorial solver (binary search + Dinic), the Lemma 2.2.2 closed form
+// (subset enumeration), and the literal simplex transcription of LP (2.1)
+// must all agree.
+func TestThreeWayAgreement(t *testing.T) {
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 25; trial++ {
+		dim := 1 + rng.Intn(2)
+		m := demand.NewMap(dim)
+		points := 2 + rng.Intn(4)
+		for i := 0; i < points; i++ {
+			var p grid.Point
+			for a := 0; a < dim; a++ {
+				p[a] = int32(rng.Intn(5))
+			}
+			if err := m.Add(p, 1+rng.Int63n(15)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		r := rng.Intn(3)
+		flowV, err := FlowValue(m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subsetV, err := SubsetValue(m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simplexV, err := SimplexValue(m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tol := 1e-6 * math.Max(1, subsetV)
+		if math.Abs(flowV-simplexV) > tol || math.Abs(subsetV-simplexV) > tol {
+			t.Errorf("trial %d (dim %d r %d): flow %v subset %v simplex %v",
+				trial, dim, r, flowV, subsetV, simplexV)
+		}
+	}
+}
+
+func TestSimplexValueEmpty(t *testing.T) {
+	if v, err := SimplexValue(demand.NewMap(2), 2); err != nil || v != 0 {
+		t.Errorf("empty: %v %v", v, err)
+	}
+}
+
+func TestSimplexValueSinglePointExact(t *testing.T) {
+	// d at one point, radius r: value must be d / |ball(r)| exactly.
+	m, err := demand.PointMass(2, grid.P(0, 0), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range []int{0, 1, 2} {
+		ball := float64(2*r*r + 2*r + 1)
+		got, err := SimplexValue(m, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-100/ball) > 1e-9 {
+			t.Errorf("r=%d: %v, want %v", r, got, 100/ball)
+		}
+	}
+}
+
+func TestSimplexValueTooLarge(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	b, err := grid.NewBox(2, grid.P(0, 0), grid.P(30, 30))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := demand.Uniform(rng, b, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := SimplexValue(m, 4); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("want ErrTooLarge, got %v", err)
+	}
+}

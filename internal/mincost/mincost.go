@@ -1,0 +1,202 @@
+// Package mincost implements minimum-cost maximum-flow via successive
+// shortest augmenting paths with Johnson potentials (Dijkstra after an
+// initial Bellman-Ford). It is the substrate for the classical
+// Transportation Problem solver (package transport), which the thesis
+// contrasts with its own LP (2.1) in Section 2.2: there the supply
+// distribution is a *variable*, here it is given and only the transport
+// cost is minimized.
+package mincost
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the tolerance for treating residual capacity as zero.
+const Eps = 1e-9
+
+// ErrNegativeCycle is returned when the initial graph contains a negative
+// cost cycle reachable from the source.
+var ErrNegativeCycle = errors.New("mincost: negative cost cycle")
+
+// Network is a directed flow network with per-edge costs.
+type Network struct {
+	n     int
+	heads []int32
+	to    []int32
+	next  []int32
+	cap   []float64
+	cost  []float64
+}
+
+// NewNetwork creates a network with n nodes.
+func NewNetwork(n int) (*Network, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("mincost: need at least 2 nodes, got %d", n)
+	}
+	heads := make([]int32, n)
+	for i := range heads {
+		heads[i] = -1
+	}
+	return &Network{n: n, heads: heads}, nil
+}
+
+// AddEdge adds a directed edge u->v with capacity and per-unit cost,
+// returning the edge id.
+func (nw *Network) AddEdge(u, v int, capacity, cost float64) (int, error) {
+	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
+		return 0, fmt.Errorf("mincost: edge (%d,%d) out of range [0,%d)", u, v, nw.n)
+	}
+	if capacity < 0 || math.IsNaN(capacity) || math.IsNaN(cost) {
+		return 0, fmt.Errorf("mincost: invalid capacity %v or cost %v", capacity, cost)
+	}
+	id := len(nw.to)
+	nw.to = append(nw.to, int32(v), int32(u))
+	nw.cap = append(nw.cap, capacity, 0)
+	nw.cost = append(nw.cost, cost, -cost)
+	nw.next = append(nw.next, nw.heads[u], nw.heads[v])
+	nw.heads[u] = int32(id)
+	nw.heads[v] = int32(id + 1)
+	return id, nil
+}
+
+// Flow returns the flow pushed through edge id after MinCostFlow.
+func (nw *Network) Flow(id int) float64 { return nw.cap[id^1] }
+
+// Result reports a min-cost flow computation.
+type Result struct {
+	// Flow is the total flow shipped (the maximum flow value, or the
+	// requested amount if it was reachable).
+	Flow float64
+	// Cost is the total cost of the shipped flow.
+	Cost float64
+}
+
+// MinCostFlow ships up to `want` units from s to t at minimum cost (pass
+// math.Inf(1) for min-cost *max*-flow) and returns the shipped amount and
+// its cost.
+func (nw *Network) MinCostFlow(s, t int, want float64) (*Result, error) {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n || s == t {
+		return nil, fmt.Errorf("mincost: bad terminals s=%d t=%d", s, t)
+	}
+	if want < 0 {
+		return nil, fmt.Errorf("mincost: negative target flow %v", want)
+	}
+	pot := make([]float64, nw.n)
+	// Initial potentials by Bellman-Ford (handles negative edge costs).
+	if err := nw.bellmanFord(s, pot); err != nil {
+		return nil, err
+	}
+	dist := make([]float64, nw.n)
+	inEdge := make([]int32, nw.n)
+	res := &Result{}
+	for res.Flow < want-Eps {
+		if !nw.dijkstra(s, t, pot, dist, inEdge) {
+			break // t unreachable: max flow achieved
+		}
+		// Update potentials and find bottleneck along the s-t path.
+		for v := 0; v < nw.n; v++ {
+			if !math.IsInf(dist[v], 1) {
+				pot[v] += dist[v]
+			}
+		}
+		bottleneck := want - res.Flow
+		for v := t; v != s; {
+			e := inEdge[v]
+			if nw.cap[e] < bottleneck {
+				bottleneck = nw.cap[e]
+			}
+			v = int(nw.to[e^1])
+		}
+		for v := t; v != s; {
+			e := inEdge[v]
+			nw.cap[e] -= bottleneck
+			nw.cap[e^1] += bottleneck
+			res.Cost += bottleneck * nw.cost[e]
+			v = int(nw.to[e^1])
+		}
+		res.Flow += bottleneck
+	}
+	return res, nil
+}
+
+func (nw *Network) bellmanFord(s int, pot []float64) error {
+	for i := range pot {
+		pot[i] = math.Inf(1)
+	}
+	pot[s] = 0
+	for iter := 0; iter < nw.n; iter++ {
+		changed := false
+		for u := 0; u < nw.n; u++ {
+			if math.IsInf(pot[u], 1) {
+				continue
+			}
+			for e := nw.heads[u]; e != -1; e = nw.next[e] {
+				if nw.cap[e] > Eps && pot[u]+nw.cost[e] < pot[nw.to[e]]-Eps {
+					pot[nw.to[e]] = pot[u] + nw.cost[e]
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if iter == nw.n-1 {
+			return ErrNegativeCycle
+		}
+	}
+	// Unreachable nodes keep +Inf potential; Dijkstra skips them.
+	return nil
+}
+
+type pqItem struct {
+	node int32
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	n := len(old)
+	item := old[n-1]
+	*p = old[:n-1]
+	return item
+}
+
+// dijkstra computes reduced-cost shortest paths from s; returns false when t
+// is unreachable in the residual graph.
+func (nw *Network) dijkstra(s, t int, pot, dist []float64, inEdge []int32) bool {
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		inEdge[i] = -1
+	}
+	dist[s] = 0
+	q := pq{{node: int32(s)}}
+	for len(q) > 0 {
+		item := heap.Pop(&q).(pqItem)
+		u := int(item.node)
+		if item.dist > dist[u]+Eps {
+			continue
+		}
+		for e := nw.heads[u]; e != -1; e = nw.next[e] {
+			v := int(nw.to[e])
+			if nw.cap[e] <= Eps || math.IsInf(pot[v], 1) {
+				continue
+			}
+			nd := dist[u] + nw.cost[e] + pot[u] - pot[v]
+			if nd < dist[v]-Eps {
+				dist[v] = nd
+				inEdge[v] = e
+				heap.Push(&q, pqItem{node: int32(v), dist: nd})
+			}
+		}
+	}
+	return !math.IsInf(dist[t], 1)
+}

@@ -1,0 +1,219 @@
+package mincost
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustNet(t *testing.T, n int) *Network {
+	t.Helper()
+	nw, err := NewNetwork(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func addEdge(t *testing.T, nw *Network, u, v int, c, cost float64) int {
+	t.Helper()
+	id, err := nw.AddEdge(u, v, c, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return id
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewNetwork(1); err == nil {
+		t.Error("1 node should fail")
+	}
+	nw := mustNet(t, 3)
+	if _, err := nw.AddEdge(0, 5, 1, 1); err == nil {
+		t.Error("out of range should fail")
+	}
+	if _, err := nw.AddEdge(0, 1, -1, 1); err == nil {
+		t.Error("negative capacity should fail")
+	}
+	if _, err := nw.AddEdge(0, 1, 1, math.NaN()); err == nil {
+		t.Error("NaN cost should fail")
+	}
+	if _, err := nw.MinCostFlow(0, 0, 1); err == nil {
+		t.Error("s==t should fail")
+	}
+	if _, err := nw.MinCostFlow(0, 1, -1); err == nil {
+		t.Error("negative want should fail")
+	}
+}
+
+func TestSingleEdge(t *testing.T) {
+	nw := mustNet(t, 2)
+	id := addEdge(t, nw, 0, 1, 5, 3)
+	res, err := nw.MinCostFlow(0, 1, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Flow-5) > Eps || math.Abs(res.Cost-15) > Eps {
+		t.Fatalf("result %+v", res)
+	}
+	if math.Abs(nw.Flow(id)-5) > Eps {
+		t.Errorf("edge flow %v", nw.Flow(id))
+	}
+}
+
+func TestPartialFlow(t *testing.T) {
+	nw := mustNet(t, 2)
+	addEdge(t, nw, 0, 1, 5, 3)
+	res, err := nw.MinCostFlow(0, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Flow-2) > Eps || math.Abs(res.Cost-6) > Eps {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestPrefersCheapPath(t *testing.T) {
+	// Two parallel 2-hop paths: cheap (cost 1+1) cap 3, expensive (5+5)
+	// cap 10. Shipping 5 units must use the cheap path fully first.
+	nw := mustNet(t, 4)
+	addEdge(t, nw, 0, 1, 3, 1)
+	addEdge(t, nw, 1, 3, 3, 1)
+	addEdge(t, nw, 0, 2, 10, 5)
+	addEdge(t, nw, 2, 3, 10, 5)
+	res, err := nw.MinCostFlow(0, 3, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 3.0*2 + 2.0*10
+	if math.Abs(res.Flow-5) > Eps || math.Abs(res.Cost-want) > Eps {
+		t.Fatalf("flow %v cost %v, want 5 / %v", res.Flow, res.Cost, want)
+	}
+}
+
+func TestReroutingThroughResidual(t *testing.T) {
+	// Classic instance where the optimum requires cancelling flow on an
+	// earlier augmenting path via the residual reverse edge.
+	nw := mustNet(t, 4)
+	addEdge(t, nw, 0, 1, 1, 1)
+	addEdge(t, nw, 0, 2, 1, 10)
+	addEdge(t, nw, 1, 2, 1, -8)
+	addEdge(t, nw, 1, 3, 1, 10)
+	addEdge(t, nw, 2, 3, 1, 1)
+	// One unit: the cheapest route is 0-1-2-3 at cost 1-8+1 = -6.
+	res, err := nw.MinCostFlow(0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Flow-1) > Eps || math.Abs(res.Cost-(-6)) > 1e-9 {
+		t.Fatalf("1 unit: flow %v cost %v, want 1 / -6", res.Flow, res.Cost)
+	}
+	// Max flow: 2 units must split onto 0-1-3 and 0-2-3 (2-3 has cap 1),
+	// total cost 11 + 11 = 22 — the earlier negative shortcut gets undone
+	// through the residual graph.
+	nw2 := mustNet(t, 4)
+	addEdge(t, nw2, 0, 1, 1, 1)
+	addEdge(t, nw2, 0, 2, 1, 10)
+	addEdge(t, nw2, 1, 2, 1, -8)
+	addEdge(t, nw2, 1, 3, 1, 10)
+	addEdge(t, nw2, 2, 3, 1, 1)
+	res, err = nw2.MinCostFlow(0, 3, math.Inf(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Flow-2) > Eps || math.Abs(res.Cost-22) > 1e-9 {
+		t.Fatalf("max flow: flow %v cost %v, want 2 / 22", res.Flow, res.Cost)
+	}
+}
+
+func TestNegativeCycleDetected(t *testing.T) {
+	nw := mustNet(t, 3)
+	addEdge(t, nw, 0, 1, 1, -5)
+	addEdge(t, nw, 1, 0, 1, -5)
+	addEdge(t, nw, 1, 2, 1, 1)
+	if _, err := nw.MinCostFlow(0, 2, 1); err == nil {
+		t.Error("negative cycle should be detected")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	nw := mustNet(t, 4)
+	addEdge(t, nw, 0, 1, 5, 1)
+	addEdge(t, nw, 2, 3, 5, 1)
+	res, err := nw.MinCostFlow(0, 3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Flow != 0 || res.Cost != 0 {
+		t.Fatalf("result %+v", res)
+	}
+}
+
+// TestAgainstBruteForceTransport cross-checks min-cost flow on random small
+// bipartite transportation instances against exhaustive enumeration of
+// integer shipping plans.
+func TestAgainstBruteForceTransport(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for trial := 0; trial < 30; trial++ {
+		nSup, nDem := 2, 2
+		sup := []int{1 + rng.Intn(3), 1 + rng.Intn(3)}
+		cost := [2][2]float64{}
+		for i := 0; i < nSup; i++ {
+			for j := 0; j < nDem; j++ {
+				cost[i][j] = float64(rng.Intn(10))
+			}
+		}
+		dem := []int{1 + rng.Intn(2), 1 + rng.Intn(2)}
+		total := dem[0] + dem[1]
+		if sup[0]+sup[1] < total {
+			continue
+		}
+		// Brute force over x00 in 0..min(sup0,dem0) etc.
+		best := math.Inf(1)
+		for x00 := 0; x00 <= min(sup[0], dem[0]); x00++ {
+			for x01 := 0; x01 <= min(sup[0]-x00, dem[1]); x01++ {
+				x10 := dem[0] - x00
+				x11 := dem[1] - x01
+				if x10 < 0 || x11 < 0 || x10+x11 > sup[1] {
+					continue
+				}
+				c := float64(x00)*cost[0][0] + float64(x01)*cost[0][1] +
+					float64(x10)*cost[1][0] + float64(x11)*cost[1][1]
+				if c < best {
+					best = c
+				}
+			}
+		}
+		if math.IsInf(best, 1) {
+			continue
+		}
+		nw := mustNet(t, 6) // 0 src, 1-2 suppliers, 3-4 demands, 5 sink
+		for i := 0; i < nSup; i++ {
+			addEdge(t, nw, 0, 1+i, float64(sup[i]), 0)
+			for j := 0; j < nDem; j++ {
+				addEdge(t, nw, 1+i, 3+j, math.Inf(1), cost[i][j])
+			}
+		}
+		for j := 0; j < nDem; j++ {
+			addEdge(t, nw, 3+j, 5, float64(dem[j]), 0)
+		}
+		res, err := nw.MinCostFlow(0, 5, float64(total))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(res.Flow-float64(total)) > Eps {
+			t.Fatalf("trial %d: shipped %v of %d", trial, res.Flow, total)
+		}
+		if math.Abs(res.Cost-best) > 1e-6 {
+			t.Fatalf("trial %d: cost %v, brute force %v (sup %v dem %v cost %v)",
+				trial, res.Cost, best, sup, dem, cost)
+		}
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,137 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// The thesis analyzes general dimension l; Algorithm 1 and the schedule
+// construction must work beyond the plane. These tests sweep l = 1 and 3.
+
+func TestAlgorithm1OneDimensional(t *testing.T) {
+	arena := grid.MustNew(64)
+	m := demand.NewMap(1)
+	if err := m.Add(grid.P(32), 40); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Algorithm1(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branch != BranchCube {
+		t.Fatalf("branch %v", res.Branch)
+	}
+	// 1-D constant: (2*3^1 + 1) * w.
+	if res.W != float64(7*res.CubeSide) {
+		t.Errorf("W = %v for cube side %d", res.W, res.CubeSide)
+	}
+}
+
+func TestAlgorithm1ThreeDimensional(t *testing.T) {
+	arena := grid.MustNew(8, 8, 8)
+	m := demand.NewMap(3)
+	if err := m.Add(grid.P(4, 4, 4), 100); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Algorithm1(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Branch != BranchCube {
+		t.Fatalf("branch %v", res.Branch)
+	}
+	// w=2: aligned 2-cube sum 100 <= 2*6^3 = 432, so the first level works.
+	if res.CubeSide != 2 {
+		t.Errorf("cube side %d", res.CubeSide)
+	}
+	if want := float64((2*27 + 3) * 2); res.W != want {
+		t.Errorf("W = %v, want %v", res.W, want)
+	}
+}
+
+func TestScheduleOneAndThreeDimensional(t *testing.T) {
+	cases := []struct {
+		name  string
+		arena *grid.Grid
+		dim   int
+		fill  func(m *demand.Map, rng *rand.Rand) error
+	}{
+		{
+			name: "1d-uniform", arena: grid.MustNew(64), dim: 1,
+			fill: func(m *demand.Map, rng *rand.Rand) error {
+				for i := 0; i < 200; i++ {
+					if err := m.Add(grid.P(16+rng.Intn(32)), 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			name: "3d-cluster", arena: grid.MustNew(12, 12, 12), dim: 3,
+			fill: func(m *demand.Map, rng *rand.Rand) error {
+				for i := 0; i < 300; i++ {
+					p := grid.P(4+rng.Intn(4), 4+rng.Intn(4), 4+rng.Intn(4))
+					if err := m.Add(p, 1); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(5))
+			m := demand.NewMap(tc.dim)
+			if err := tc.fill(m, rng); err != nil {
+				t.Fatal(err)
+			}
+			sched, err := BuildSchedule(m, tc.arena)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := VerifySchedule(m, sched, sched.W); err != nil {
+				t.Fatal(err)
+			}
+			bound := float64(2*pow(3, tc.dim)+int64(tc.dim))*math.Max(sched.OmegaC, 1) + 4
+			if sched.W > bound {
+				t.Errorf("W %v exceeds dimension bound %v (omega_c %v)",
+					sched.W, bound, sched.OmegaC)
+			}
+		})
+	}
+}
+
+func TestOmegaCDimensionalConstants(t *testing.T) {
+	// The same point demand needs less capacity in higher dimension (more
+	// vehicles within reach): omega scales like d^(1/(l+1)).
+	d := int64(4000)
+	prev := math.Inf(1)
+	for _, tc := range []struct {
+		arena *grid.Grid
+		pt    grid.Point
+	}{
+		{grid.MustNew(256), grid.P(128)},
+		{grid.MustNew(64, 64), grid.P(32, 32)},
+		{grid.MustNew(32, 32, 32), grid.P(16, 16, 16)},
+	} {
+		m := demand.NewMap(tc.arena.Dim())
+		if err := m.Add(tc.pt, d); err != nil {
+			t.Fatal(err)
+		}
+		char, err := OmegaC(m, tc.arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if char.Omega >= prev {
+			t.Errorf("dim %d: omega_c %v did not shrink (prev %v)",
+				tc.arena.Dim(), char.Omega, prev)
+		}
+		prev = char.Omega
+	}
+}

@@ -1,0 +1,78 @@
+package offline
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/grid"
+)
+
+// The Figure 2.2 / 2.3 strategies as executable constructions: the schedules
+// they emit must pass the independent verifier at the thesis' capacities.
+
+func TestLineStrategyFeasibleAtTwoW2(t *testing.T) {
+	for _, d := range []int64{1, 8, 50, 500, 5000} {
+		sched, m, err := LineStrategy(grid.P(0, 50), 64, d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		maxE, err := VerifySchedule(m, sched, sched.W)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		// The thesis' claim: capacity 2*W2 suffices (we allow +1 rounding).
+		w2 := (-1 + math.Sqrt(1+8*float64(d))) / 4
+		if maxE > 2*w2+1+1e-9 {
+			t.Errorf("d=%d: strategy used %v > 2*W2+1 = %v", d, maxE, 2*w2+1)
+		}
+	}
+}
+
+func TestLineStrategyZeroAndErrors(t *testing.T) {
+	sched, _, err := LineStrategy(grid.P(0, 0), 4, 0)
+	if err != nil || len(sched.Plans) != 0 {
+		t.Errorf("zero demand: %v %v", sched, err)
+	}
+	if _, _, err := LineStrategy(grid.P(0, 0), 0, 5); err == nil {
+		t.Error("length 0 should fail")
+	}
+	if _, _, err := LineStrategy(grid.P(0, 0), 4, -1); err == nil {
+		t.Error("negative demand should fail")
+	}
+}
+
+func TestPointStrategyFeasibleAtThreeW3(t *testing.T) {
+	for _, d := range []int64{1, 9, 100, 10000, 1000000} {
+		sched, m, err := PointStrategy(grid.P(1000, 1000), d)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		maxE, err := VerifySchedule(m, sched, sched.W)
+		if err != nil {
+			t.Fatalf("d=%d: %v", d, err)
+		}
+		w3 := solveCubic(float64(d))
+		if maxE > 3*w3+2+1e-9 {
+			t.Errorf("d=%d: strategy used %v > 3*W3+2 = %v", d, maxE, 3*w3+2)
+		}
+	}
+}
+
+func TestPointStrategyZeroAndErrors(t *testing.T) {
+	sched, _, err := PointStrategy(grid.P(0, 0), 0)
+	if err != nil || len(sched.Plans) != 0 {
+		t.Errorf("zero demand: %v %v", sched, err)
+	}
+	if _, _, err := PointStrategy(grid.P(0, 0), -1); err == nil {
+		t.Error("negative demand should fail")
+	}
+}
+
+func TestSolveCubic(t *testing.T) {
+	for _, d := range []float64{1, 64, 4096, 1e9} {
+		w := solveCubic(d)
+		if got := w * (2*w + 1) * (2*w + 1); math.Abs(got-d) > 1e-6*d {
+			t.Errorf("d=%v: root %v gives %v", d, w, got)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package offline implements the offline half of the thesis' contribution
+// (Chapter 2): the cube characterization omega_c of Corollary 2.2.7, the
+// linear-time approximation Algorithm 1 for Woff, and the constructive
+// vehicle schedule of Lemma 2.2.5 together with a feasibility verifier. The
+// schedule is what turns the existence proof into a deployable plan: it
+// demonstrates the upper bound Woff <= (2*3^l + l) * omega* by construction.
+package offline
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// pow returns base^exp for small integer exponents.
+func pow(base, exp int) int64 {
+	r := int64(1)
+	for i := 0; i < exp; i++ {
+		r *= int64(base)
+	}
+	return r
+}
+
+// CubeChar is the result of the Corollary 2.2.7 characterization: the value
+// omega_c together with the cube side its feasibility check passed at. The
+// side is *not* always ceil(Omega): when the crossing happens exactly at an
+// integer segment boundary, omega_c = s-1 but the partition that works uses
+// side s, so schedule construction must take Side from here.
+type CubeChar struct {
+	Omega float64
+	Side  int
+}
+
+// OmegaC computes the cube quantity of Corollary 2.2.7:
+//
+//	omega_c = min{ omega : omega * (3*ceil(omega))^l = max_{T in Gamma_omega} sum d }
+//
+// where Gamma_omega is the family of ceil(omega)-cubes. For each integer
+// side s the candidate is f(s) = maxCubeSum(s) / (3s)^l, valid when it lands
+// in the segment (s-1, s]; below the segment the crossing happens at the
+// boundary s-1 (still with side s). The scan stops once the segment floor
+// exceeds the best candidate, since all later candidates are at least s-1.
+func OmegaC(m *demand.Map, arena *grid.Grid) (CubeChar, error) {
+	if m.Total() == 0 {
+		return CubeChar{}, nil
+	}
+	vals, err := m.Values(arena)
+	if err != nil {
+		return CubeChar{}, err
+	}
+	ps, err := grid.NewPrefixSum(arena, vals)
+	if err != nil {
+		return CubeChar{}, err
+	}
+	l := arena.Dim()
+	maxSide := arena.Size(0)
+	for i := 1; i < l; i++ {
+		if s := arena.Size(i); s < maxSide {
+			maxSide = s
+		}
+	}
+	best := CubeChar{Omega: math.Inf(1)}
+	for s := 1; s <= maxSide; s++ {
+		if float64(s-1) >= best.Omega {
+			break
+		}
+		sum, _, ok := ps.MaxCubeSum(s)
+		if !ok || sum <= 0 {
+			continue
+		}
+		f := float64(sum) / float64(pow(3*s, l))
+		var cand float64
+		switch {
+		case f > float64(s):
+			continue // capacity s insufficient at this cube size
+		case f > float64(s-1):
+			cand = f
+		default:
+			cand = float64(s - 1) // crossing at the segment boundary
+		}
+		if cand < best.Omega {
+			best = CubeChar{Omega: cand, Side: s}
+		}
+	}
+	if math.IsInf(best.Omega, 1) {
+		// No cube size fits inside the arena with enough capacity; the
+		// arena is too small relative to the demand concentration.
+		return CubeChar{}, fmt.Errorf("offline: no feasible cube size within arena (max side %d)", maxSide)
+	}
+	return best, nil
+}
+
+// Alg1Result carries Algorithm 1's answer plus diagnostics.
+type Alg1Result struct {
+	// W is the returned per-vehicle capacity estimate.
+	W float64
+	// CubeSide is the side length w at which the pyramid check passed, or 0
+	// when a degenerate branch (steps 1-4 of the listing) returned early.
+	CubeSide int
+	// Branch records which return statement fired, for tests and tracing.
+	Branch Alg1Branch
+}
+
+// Alg1Branch identifies Algorithm 1's exit points.
+type Alg1Branch int
+
+// Exit points of Algorithm 1 (line numbers follow the thesis listing).
+const (
+	// BranchDenseGrid is line 2: n <= average demand.
+	BranchDenseGrid Alg1Branch = iota + 1
+	// BranchTinyDemand is line 4: max demand <= 1.
+	BranchTinyDemand
+	// BranchFullGrid is line 7: the pyramid reached w = n.
+	BranchFullGrid
+	// BranchCube is line 14: some cube size w passed the density check.
+	BranchCube
+)
+
+// String implements fmt.Stringer.
+func (b Alg1Branch) String() string {
+	switch b {
+	case BranchDenseGrid:
+		return "dense-grid"
+	case BranchTinyDemand:
+		return "tiny-demand"
+	case BranchFullGrid:
+		return "full-grid"
+	case BranchCube:
+		return "cube"
+	default:
+		return fmt.Sprintf("Alg1Branch(%d)", int(b))
+	}
+}
+
+// Algorithm1 is a faithful transcription of the thesis' linear-time
+// 2(2*3^l+l)-approximation for Woff (Section 2.3). The arena must be an
+// n x ... x n grid with n a power of two. It aggregates demand over aligned
+// w-cubes with doubling w and returns (2*3^l+l)*w for the first w whose
+// aligned cube sums all satisfy sum <= w*(3w)^l.
+func Algorithm1(m *demand.Map, arena *grid.Grid) (Alg1Result, error) {
+	l := arena.Dim()
+	n := arena.Size(0)
+	for i := 1; i < l; i++ {
+		if arena.Size(i) != n {
+			return Alg1Result{}, fmt.Errorf("offline: arena must be square, got %d and %d", n, arena.Size(i))
+		}
+	}
+	if n&(n-1) != 0 {
+		return Alg1Result{}, fmt.Errorf("offline: arena side %d must be a power of two", n)
+	}
+	vals, err := m.Values(arena)
+	if err != nil {
+		return Alg1Result{}, err
+	}
+	maxD := float64(m.Max())
+	avgD := float64(m.Total()) / float64(arena.Len())
+	fallback := math.Min(maxD, 2*avgD+float64(l*n))
+	// Lines 1-2: the grid is saturated; every vehicle can reach everywhere.
+	if float64(n) <= avgD {
+		return Alg1Result{W: fallback, Branch: BranchDenseGrid}, nil
+	}
+	// Lines 3-4: nobody can afford to move at all.
+	if maxD <= 1 {
+		return Alg1Result{W: maxD, Branch: BranchTinyDemand}, nil
+	}
+	// Lines 5-14: the doubling pyramid. cur holds aligned w/2-cube sums.
+	cur := vals
+	side := n
+	for w := 2; ; w *= 2 {
+		if w > n {
+			return Alg1Result{W: fallback, Branch: BranchFullGrid}, nil
+		}
+		next, nextSide := aggregate(cur, side, l)
+		cur, side = next, nextSide
+		threshold := float64(w) * float64(pow(3*w, l))
+		ok := true
+		for _, v := range cur {
+			if float64(v) > threshold {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return Alg1Result{
+				W:        float64(2*pow(3, l)+int64(l)) * float64(w),
+				CubeSide: w,
+				Branch:   BranchCube,
+			}, nil
+		}
+	}
+}
+
+// aggregate halves the resolution of an l-dimensional side^l dense array by
+// summing 2^l-blocks (lines 8-9 of Algorithm 1).
+func aggregate(vals []int64, side, l int) ([]int64, int) {
+	half := side / 2
+	out := make([]int64, pow(half, l))
+	// Strides for the input and output arrays (row-major).
+	inStride := make([]int64, l)
+	outStride := make([]int64, l)
+	is, os := int64(1), int64(1)
+	for i := l - 1; i >= 0; i-- {
+		inStride[i], outStride[i] = is, os
+		is *= int64(side)
+		os *= int64(half)
+	}
+	idx := make([]int, l)
+	for o := range out {
+		// Decode output coordinates.
+		rem := int64(o)
+		for i := 0; i < l; i++ {
+			idx[i] = int(rem / outStride[i])
+			rem %= outStride[i]
+		}
+		var sum int64
+		for mask := 0; mask < 1<<l; mask++ {
+			in := int64(0)
+			for i := 0; i < l; i++ {
+				c := 2 * idx[i]
+				if mask&(1<<i) != 0 {
+					c++
+				}
+				in += int64(c) * inStride[i]
+			}
+			sum += vals[in]
+		}
+		out[o] = sum
+	}
+	return out, half
+}

@@ -1,0 +1,77 @@
+package offline
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// TestQuickScheduleAlwaysFeasible property-checks the Lemma 2.2.5
+// construction end to end: for random workloads the built schedule always
+// passes the independent verifier at its own W and stays above the cube
+// lower bound — the constructive heart of Theorem 1.4.1.
+func TestQuickScheduleAlwaysFeasible(t *testing.T) {
+	arena := grid.MustNew(16, 16)
+	f := func(seed int64, nPoints uint8, heavy bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := demand.NewMap(2)
+		points := int(nPoints%20) + 1
+		for i := 0; i < points; i++ {
+			p := grid.P(2+rng.Intn(12), 2+rng.Intn(12))
+			jobs := rng.Int63n(15) + 1
+			if heavy {
+				jobs *= 20
+			}
+			if err := m.Add(p, jobs); err != nil {
+				return false
+			}
+		}
+		sched, err := BuildSchedule(m, arena)
+		if err != nil {
+			// The arena is large relative to these demands; construction
+			// must not fail.
+			t.Logf("seed %d: build failed: %v", seed, err)
+			return false
+		}
+		if _, err := VerifySchedule(m, sched, sched.W); err != nil {
+			t.Logf("seed %d: verify failed: %v", seed, err)
+			return false
+		}
+		return sched.W+1e-9 >= sched.OmegaC
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickAlgorithm1DominatesOmegaC property-checks that Algorithm 1's
+// returned capacity never undercuts the omega_c characterization (it is an
+// upper-bound estimate, so dropping below the lower bound would be a bug).
+func TestQuickAlgorithm1DominatesOmegaC(t *testing.T) {
+	arena := grid.MustNew(16, 16)
+	f := func(seed int64, nPoints uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := demand.NewMap(2)
+		for i := 0; i < int(nPoints%15)+1; i++ {
+			p := grid.P(rng.Intn(16), rng.Intn(16))
+			if err := m.Add(p, rng.Int63n(40)+2); err != nil {
+				return false
+			}
+		}
+		res, err := Algorithm1(m, arena)
+		if err != nil {
+			return false
+		}
+		char, err := OmegaC(m, arena)
+		if err != nil {
+			return false
+		}
+		return res.W+1e-9 >= char.Omega
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

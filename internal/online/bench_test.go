@@ -1,0 +1,71 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// BenchmarkOnlineRun times a full online episode with steady replacement
+// pressure: a hot point exhausting vehicles in one cube.
+func BenchmarkOnlineRun(b *testing.B) {
+	arena := grid.MustNew(8, 8)
+	jobs := make([]grid.Point, 60)
+	for i := range jobs {
+		jobs[i] = grid.P(4, 4)
+	}
+	seq := demand.NewSequence(jobs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRunner(Options{Arena: arena, CubeSide: 8, Capacity: 24, Seed: 1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run(seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK() {
+			b.Fatalf("run failed: %v", res.Failures[0])
+		}
+	}
+}
+
+// BenchmarkOnlineRunMonitoring measures the monitoring ring's overhead on
+// the same workload.
+func BenchmarkOnlineRunMonitoring(b *testing.B) {
+	arena := grid.MustNew(8, 8)
+	jobs := make([]grid.Point, 60)
+	for i := range jobs {
+		jobs[i] = grid.P(4, 4)
+	}
+	seq := demand.NewSequence(jobs)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r, err := NewRunner(Options{
+			Arena: arena, CubeSide: 8, Capacity: 24, Seed: 1, Monitoring: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		res, err := r.Run(seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK() {
+			b.Fatalf("run failed: %v", res.Failures[0])
+		}
+	}
+}
+
+// BenchmarkPartitionBuild times the static geometry construction.
+func BenchmarkPartitionBuild(b *testing.B) {
+	arena := grid.MustNew(64, 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewPartition(arena, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package online
+
+import (
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// The online strategy is dimension-generic (thesis Chapter 3 works on Z^l);
+// exercise the 1-D and 3-D paths end to end.
+
+func TestOnlineOneDimensional(t *testing.T) {
+	arena := grid.MustNew(16)
+	// A 1-D side-4 cube holds 4 vehicles (2 pairs): only ~3 can serve the
+	// hot spot (the 4th stays active on the other pair), so keep the load
+	// within 3 vehicles' worth of capacity 12 minus moves.
+	r := mustRunner(t, Options{Arena: arena, CubeSide: 4, Capacity: 12, Seed: 2})
+	jobs := make([]grid.Point, 24)
+	for i := range jobs {
+		jobs[i] = grid.P(8)
+	}
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("1-D failures: %v", res.Failures)
+	}
+	if res.Replacements == 0 {
+		t.Error("expected replacements in the hammered 1-D cube")
+	}
+}
+
+func TestOnlineThreeDimensional(t *testing.T) {
+	arena := grid.MustNew(4, 4, 4)
+	r := mustRunner(t, Options{Arena: arena, CubeSide: 4, Capacity: 16, Seed: 3})
+	jobs := make([]grid.Point, 40)
+	for i := range jobs {
+		jobs[i] = grid.P(2, 2, 2)
+	}
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("3-D failures: %v", res.Failures)
+	}
+	if res.MaxEnergy > 16 {
+		t.Errorf("energy %v exceeds capacity", res.MaxEnergy)
+	}
+}
+
+func TestPartitionThreeDimensionalPairing(t *testing.T) {
+	arena := grid.MustNew(6, 6, 6)
+	part, err := NewPartition(arena, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	covered := 0
+	singles := 0
+	for _, pr := range part.Pairs() {
+		if pr.Single {
+			singles++
+			covered++
+			continue
+		}
+		covered += 2
+		if grid.Manhattan(pr.Cells[0], pr.Cells[1]) != 1 {
+			t.Fatalf("pair cells not adjacent: %v %v", pr.Cells[0], pr.Cells[1])
+		}
+	}
+	if int64(covered) != arena.Len() {
+		t.Errorf("pairs cover %d of %d cells", covered, arena.Len())
+	}
+	// 8 cubes of 27 cells: one single each.
+	if singles != 8 {
+		t.Errorf("%d singles, want 8", singles)
+	}
+}

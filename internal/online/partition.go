@@ -1,0 +1,216 @@
+// Package online implements the decentralized on-line strategy of thesis
+// Chapter 3: the arena is partitioned into cubes, vertices are paired into
+// adjacent black/white pairs (Section 3.2), each pair is served by one
+// active vehicle, and exhausted vehicles are replaced by idle ones located
+// through Dijkstra-Scholten diffusing computations (Algorithm 2) followed by
+// a Phase II move order. The package also implements the Section 3.2.5
+// monitoring-ring extension that survives vehicles failing to initiate
+// replacement searches and vehicles breaking down outright.
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/grid"
+)
+
+// Pair is one black/white vertex pair of Section 3.2. A pair with Single set
+// has only Cells[0] (the odd cell left over by an odd-volume cube).
+type Pair struct {
+	Cells  [2]grid.Point
+	Single bool
+	Cube   int
+}
+
+// ServicePos returns the canonical service location of the pair (where a
+// replacement vehicle is sent). Cells[0] is the black vertex when possible.
+func (p Pair) ServicePos() grid.Point { return p.Cells[0] }
+
+// Covers reports whether position x belongs to the pair.
+func (p Pair) Covers(x grid.Point) bool {
+	if p.Cells[0] == x {
+		return true
+	}
+	return !p.Single && p.Cells[1] == x
+}
+
+// Partition is the static geometry of the online strategy: the cube
+// decomposition, the pairing, and the intra-cube communication graph.
+type Partition struct {
+	arena    *grid.Grid
+	cubeSide int
+
+	pairs  []Pair
+	pairOf map[grid.Point]int // cell -> pair index
+	cubeOf map[grid.Point]int // cell -> cube index
+
+	cubePairs [][]int                     // cube -> pair indices (snake order)
+	comm      map[grid.Point][]grid.Point // same-cube cells within distance 2
+	numCubes  int
+}
+
+// NewPartition decomposes the arena into aligned side-s cubes (clipped at
+// the boundary), pairs each cube's cells along a boustrophedon (snake) walk
+// — consecutive snake cells are lattice-adjacent, hence opposite chessboard
+// colors — and precomputes the communication graph: vehicles within L1
+// distance 2 in the same cube are neighbors (Section 3.2's "constant
+// distance... we use 2 here").
+func NewPartition(arena *grid.Grid, cubeSide int) (*Partition, error) {
+	if cubeSide < 1 {
+		return nil, fmt.Errorf("online: cube side %d must be >= 1", cubeSide)
+	}
+	p := &Partition{
+		arena:    arena,
+		cubeSide: cubeSide,
+		pairOf:   make(map[grid.Point]int),
+		cubeOf:   make(map[grid.Point]int),
+		comm:     make(map[grid.Point][]grid.Point),
+	}
+	var corner [grid.MaxDim]int
+	if err := p.walkCubes(corner, 0); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func (p *Partition) walkCubes(corner [grid.MaxDim]int, axis int) error {
+	if axis < p.arena.Dim() {
+		for c := 0; c < p.arena.Size(axis); c += p.cubeSide {
+			corner[axis] = c
+			if err := p.walkCubes(corner, axis+1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	dim := p.arena.Dim()
+	var lo, hi grid.Point
+	for i := 0; i < dim; i++ {
+		lo[i] = int32(corner[i])
+		h := corner[i] + p.cubeSide - 1
+		if h >= p.arena.Size(i) {
+			h = p.arena.Size(i) - 1
+		}
+		hi[i] = int32(h)
+	}
+	cube, err := grid.NewBox(dim, lo, hi)
+	if err != nil {
+		return err
+	}
+	cubeIdx := p.numCubes
+	p.numCubes++
+	cells := snakeOrder(cube)
+	var pairIdxs []int
+	for i := 0; i < len(cells); i += 2 {
+		pr := Pair{Cube: cubeIdx}
+		if i+1 < len(cells) {
+			// Put the black vertex first so ServicePos is the initially
+			// active cell.
+			a, b := cells[i], cells[i+1]
+			if grid.ColorOf(a) != grid.Black {
+				a, b = b, a
+			}
+			pr.Cells = [2]grid.Point{a, b}
+		} else {
+			pr.Cells[0] = cells[i]
+			pr.Single = true
+		}
+		idx := len(p.pairs)
+		p.pairs = append(p.pairs, pr)
+		pairIdxs = append(pairIdxs, idx)
+		p.pairOf[pr.Cells[0]] = idx
+		if !pr.Single {
+			p.pairOf[pr.Cells[1]] = idx
+		}
+	}
+	p.cubePairs = append(p.cubePairs, pairIdxs)
+	// Communication graph: same-cube cells within L1 distance 2.
+	for _, a := range cells {
+		p.cubeOf[a] = cubeIdx
+		for _, b := range cells {
+			if a != b && grid.Manhattan(a, b) <= 2 {
+				p.comm[a] = append(p.comm[a], b)
+			}
+		}
+	}
+	return nil
+}
+
+// snakeOrder enumerates the box's cells along a Hamiltonian lattice path:
+// each digit of the mixed-radix counter reverses direction whenever the sum
+// of the more significant digits is odd, so consecutive cells always differ
+// by one step in exactly one axis.
+func snakeOrder(b grid.Box) []grid.Point {
+	dim := b.Dim
+	sizes := make([]int, dim)
+	total := 1
+	for i := 0; i < dim; i++ {
+		sizes[i] = int(b.Side(i))
+		total *= sizes[i]
+	}
+	out := make([]grid.Point, 0, total)
+	digits := make([]int, dim)
+	for k := 0; k < total; k++ {
+		rem := k
+		hiSum := 0
+		for i := 0; i < dim; i++ {
+			// Axis i's block size = product of sizes of less significant
+			// axes (i+1..dim-1).
+			block := 1
+			for j := i + 1; j < dim; j++ {
+				block *= sizes[j]
+			}
+			d := rem / block
+			rem %= block
+			if hiSum%2 == 1 {
+				d = sizes[i] - 1 - d // reversed sweep
+			}
+			digits[i] = d
+			hiSum += d
+		}
+		var pt grid.Point
+		for i := 0; i < dim; i++ {
+			pt[i] = b.Lo[i] + int32(digits[i])
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// Pairs returns the pair table (shared slice; callers must not mutate).
+func (p *Partition) Pairs() []Pair { return p.pairs }
+
+// PairOf returns the pair index covering cell x.
+func (p *Partition) PairOf(x grid.Point) (int, bool) {
+	i, ok := p.pairOf[x]
+	return i, ok
+}
+
+// CubeOf returns the cube index of cell x.
+func (p *Partition) CubeOf(x grid.Point) (int, bool) {
+	i, ok := p.cubeOf[x]
+	return i, ok
+}
+
+// CubePairs returns the pair indices of one cube in snake order.
+func (p *Partition) CubePairs(cube int) []int { return p.cubePairs[cube] }
+
+// NumCubes returns the number of cubes in the partition.
+func (p *Partition) NumCubes() int { return p.numCubes }
+
+// CommNeighbors returns the same-cube communication neighbors of cell x.
+func (p *Partition) CommNeighbors(x grid.Point) []grid.Point { return p.comm[x] }
+
+// WatcherPair returns the pair that monitors pair `id` in the Section 3.2.5
+// monitoring ring: pairs of a cube watch each other cyclically, so every
+// pair is watched by exactly one other pair (or itself in a one-pair cube).
+func (p *Partition) WatcherPair(id int) int {
+	cube := p.pairs[id].Cube
+	list := p.cubePairs[cube]
+	for i, pid := range list {
+		if pid == id {
+			return list[(i+1)%len(list)]
+		}
+	}
+	return id // unreachable for a consistent partition
+}

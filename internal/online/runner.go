@@ -1,0 +1,343 @@
+package online
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"repro/internal/demand"
+	"repro/internal/diffuse"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// Options configures an online run.
+type Options struct {
+	// Arena is the finite simulation grid.
+	Arena *grid.Grid
+	// CubeSide is the partition granularity, normally ceil(omega_c) of the
+	// (adversary's) demand — part of the strategy per Theorem 1.4.2.
+	CubeSide int
+	// Capacity is the per-vehicle energy budget W being tested.
+	Capacity float64
+	// Seed drives the message-delay randomness.
+	Seed int64
+	// FailInitiate marks home cells whose vehicle, upon exhaustion, fails to
+	// start its replacement search (Section 3.2.5 scenario 2).
+	FailInitiate map[grid.Point]bool
+	// DeadBeforeArrival kills the vehicle homed at a cell right before the
+	// given arrival index is processed (scenario 3). Dead vehicles stop
+	// serving and initiating but keep relaying messages.
+	DeadBeforeArrival map[grid.Point]int
+	// Longevity gives vehicles the Chapter 4 breakdown parameter p_i: the
+	// vehicle homed at a cell breaks the moment it has spent a fraction p
+	// of its capacity (0 = broken from the start, 1 or absent = never
+	// breaks). This is scenario 4 of Section 3.2.5 made concrete.
+	Longevity map[grid.Point]float64
+	// Monitoring enables the Section 3.2.5 heartbeat ring. Without it,
+	// scenario 2/3 failures go unrepaired.
+	Monitoring bool
+	// MaxSteps bounds message deliveries per quiescence run (0 = default).
+	MaxSteps int64
+	// Tracer, when set, receives structured simulation events (serves,
+	// exhaustions, searches, moves, rescues, failures).
+	Tracer Tracer
+}
+
+// Failure records one unserved or mis-served job.
+type Failure struct {
+	Pos    grid.Point
+	Reason string
+}
+
+// Result aggregates a run's outcome and cost metrics.
+type Result struct {
+	// Served counts successfully processed jobs.
+	Served int64
+	// Failures lists jobs that could not be served within capacity; empty
+	// Failures means the capacity was sufficient for this sequence.
+	Failures []Failure
+	// MaxEnergy is the largest energy any vehicle consumed (the empirical
+	// capacity requirement of this run).
+	MaxEnergy float64
+	// Messages is the total number of delivered protocol messages.
+	Messages int64
+	// Replacements counts Phase II relocations.
+	Replacements int64
+	// Searches and SearchFailures count Phase I computations and the ones
+	// that found no idle candidate.
+	Searches       int64
+	SearchFailures int64
+	// MonitorRescues counts replacement searches initiated by watchers
+	// rather than by the exhausted vehicle itself.
+	MonitorRescues int64
+}
+
+// OK reports whether every job was served.
+func (r *Result) OK() bool { return len(r.Failures) == 0 }
+
+// Runner executes one online simulation.
+type Runner struct {
+	opts Options
+	part *Partition
+	net  *sim.Network
+
+	vehicles   map[sim.NodeID]*vehicle
+	pairActive []sim.NodeID // pair -> node currently responsible
+	// pendingReplace guards against duplicate concurrent searches per pair.
+	pendingReplace []bool
+
+	served         int64
+	failures       []Failure
+	maxEnergy      float64
+	replacements   int64
+	searches       int64
+	searchFailures int64
+	monitorRescues int64
+	fatal          error
+	currentArrival int
+}
+
+func (r *Runner) recordFailure(pos grid.Point, reason string) {
+	r.failures = append(r.failures, Failure{Pos: pos, Reason: reason})
+	r.emit(EventFailure, pos, pos, 0, reason)
+}
+
+func (r *Runner) noteEnergy(e float64) {
+	if e > r.maxEnergy {
+		r.maxEnergy = e
+	}
+}
+
+func (r *Runner) failf(format string, args ...interface{}) {
+	if r.fatal == nil {
+		r.fatal = fmt.Errorf(format, args...)
+	}
+}
+
+// NewRunner builds the network: one vehicle per arena cell, initially active
+// on the pair's black vertex and idle on the white one.
+func NewRunner(opts Options) (*Runner, error) {
+	if opts.Arena == nil {
+		return nil, errors.New("online: Arena is required")
+	}
+	if opts.Capacity <= 0 {
+		return nil, fmt.Errorf("online: capacity %v must be positive", opts.Capacity)
+	}
+	part, err := NewPartition(opts.Arena, opts.CubeSide)
+	if err != nil {
+		return nil, err
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = 50_000_000
+	}
+	r := &Runner{
+		opts:           opts,
+		part:           part,
+		net:            sim.NewNetwork(opts.Seed),
+		vehicles:       make(map[sim.NodeID]*vehicle),
+		pairActive:     make([]sim.NodeID, len(part.Pairs())),
+		pendingReplace: make([]bool, len(part.Pairs())),
+	}
+	for _, cell := range opts.Arena.Bounds().Points() {
+		cell := cell
+		id := sim.NodeID(opts.Arena.Index(cell))
+		pairID, ok := part.PairOf(cell)
+		if !ok {
+			return nil, fmt.Errorf("online: cell %v not covered by partition", cell)
+		}
+		longevity := 1.0
+		if p, ok := opts.Longevity[cell]; ok {
+			if p < 0 || p > 1 {
+				return nil, fmt.Errorf("online: longevity %v at %v outside [0,1]", p, cell)
+			}
+			longevity = p
+		}
+		v := &vehicle{
+			r:            r,
+			id:           id,
+			home:         cell,
+			pos:          cell,
+			pairID:       pairID,
+			state:        Idle,
+			failInitiate: opts.FailInitiate[cell],
+			longevity:    longevity,
+		}
+		if longevity == 0 {
+			v.state = Dead // broken from the start (p_i = 0)
+		}
+		eng, err := diffuse.New(diffuse.Config{
+			Neighbors: func() []sim.NodeID {
+				cells := part.CommNeighbors(v.home)
+				ids := make([]sim.NodeID, len(cells))
+				for i, c := range cells {
+					ids[i] = sim.NodeID(opts.Arena.Index(c))
+				}
+				return ids
+			},
+			IsCandidate: func() bool {
+				return v.state == Idle && v.untilBreak() >= serveCost
+			},
+			OnComplete: func(ctx sim.Sender, seq int, found bool) {
+				v.onSearchComplete(ctx, seq, found)
+			},
+			OnPayload: func(ctx sim.Sender, payload sim.Message) {
+				order, ok := payload.(moveOrder)
+				if !ok {
+					r.failf("vehicle %v: bad payload %T", v.home, payload)
+					return
+				}
+				v.onMoveOrder(ctx, order)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		v.eng = eng
+		r.vehicles[id] = v
+		if err := r.net.Add(id, v); err != nil {
+			return nil, err
+		}
+	}
+	// Activate the service vertex of every pair; fall back to the white
+	// partner when the black vertex's vehicle is broken from the start.
+	for i, pr := range part.Pairs() {
+		id := sim.NodeID(opts.Arena.Index(pr.ServicePos()))
+		if r.vehicles[id].state == Dead && !pr.Single {
+			if alt := sim.NodeID(opts.Arena.Index(pr.Cells[1])); r.vehicles[alt].state != Dead {
+				id = alt
+			}
+		}
+		if r.vehicles[id].state != Dead {
+			r.vehicles[id].state = Active
+		}
+		r.pairActive[i] = id
+	}
+	return r, nil
+}
+
+// Partition exposes the geometry (for tests and diagnostics).
+func (r *Runner) Partition() *Partition { return r.part }
+
+// Run plays the arrival sequence: each job is routed to the vehicle
+// physically covering its pair, the network is run to quiescence (the thesis
+// assumes inter-arrival gaps long enough for all computation and movement),
+// and — when monitoring is on — a heartbeat and a check round follow.
+func (r *Runner) Run(seq *demand.Sequence) (*Result, error) {
+	for i := 0; i < seq.Len(); i++ {
+		r.currentArrival = i
+		pos := seq.At(i)
+		for home, at := range r.opts.DeadBeforeArrival {
+			if at == i {
+				id := sim.NodeID(r.opts.Arena.Index(home))
+				v, ok := r.vehicles[id]
+				if !ok {
+					return nil, fmt.Errorf("online: DeadBeforeArrival cell %v not in arena", home)
+				}
+				v.state = Dead
+			}
+		}
+		pairID, ok := r.part.PairOf(pos)
+		if !ok {
+			return nil, fmt.Errorf("online: arrival %v outside arena", pos)
+		}
+		r.net.Inject(r.pairActive[pairID], serveJob{Pos: pos})
+		if err := r.quiesce(); err != nil {
+			return nil, err
+		}
+		if r.opts.Monitoring {
+			if err := r.monitorRound(); err != nil {
+				return nil, err
+			}
+		}
+		if r.fatal != nil {
+			return nil, r.fatal
+		}
+	}
+	return &Result{
+		Served:         r.served,
+		Failures:       r.failures,
+		MaxEnergy:      r.maxEnergy,
+		Messages:       r.net.Delivered(),
+		Replacements:   r.replacements,
+		Searches:       r.searches,
+		SearchFailures: r.searchFailures,
+		MonitorRescues: r.monitorRescues,
+	}, nil
+}
+
+func (r *Runner) quiesce() error {
+	return r.net.Run(r.opts.MaxSteps)
+}
+
+// monitorRound performs one heartbeat exchange followed by one check pass
+// (the run-to-quiescence analogue of "send existing messages periodically;
+// decide the neighbor is done after a timeout").
+func (r *Runner) monitorRound() error {
+	// Inject in arena order: map iteration order would break run
+	// reproducibility by perturbing the delivery scheduler's RNG stream.
+	for _, cell := range r.opts.Arena.Bounds().Points() {
+		r.net.Inject(sim.NodeID(r.opts.Arena.Index(cell)), heartbeatRound{})
+	}
+	if err := r.quiesce(); err != nil {
+		return err
+	}
+	for _, cell := range r.opts.Arena.Bounds().Points() {
+		r.net.Inject(sim.NodeID(r.opts.Arena.Index(cell)), checkRound{})
+	}
+	return r.quiesce()
+}
+
+// MinCapacity measures the empirical Won for a sequence: the smallest
+// capacity (within tol, relative) for which the strategy serves every job.
+// The bracket grows exponentially from lo until a run succeeds.
+func MinCapacity(seq *demand.Sequence, base Options, lo float64, tol float64) (float64, error) {
+	if lo < serveCost {
+		lo = serveCost
+	}
+	run := func(w float64) (bool, error) {
+		opts := base
+		opts.Capacity = w
+		r, err := NewRunner(opts)
+		if err != nil {
+			return false, err
+		}
+		res, err := r.Run(seq)
+		if err != nil {
+			return false, err
+		}
+		return res.OK() && res.SearchFailures == 0, nil
+	}
+	hi := lo
+	for {
+		ok, err := run(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		hi *= 2
+		if hi > 1e12 {
+			return 0, errors.New("online: no feasible capacity below 1e12")
+		}
+	}
+	if okLo, err := run(lo); err != nil {
+		return 0, err
+	} else if okLo {
+		return lo, nil
+	}
+	for hi-lo > tol*math.Max(1, hi) {
+		mid := (lo + hi) / 2
+		ok, err := run(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

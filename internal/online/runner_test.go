@@ -1,0 +1,351 @@
+package online
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+	"repro/internal/offline"
+)
+
+func mustRunner(t *testing.T, opts Options) *Runner {
+	t.Helper()
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestNewRunnerValidation(t *testing.T) {
+	if _, err := NewRunner(Options{}); err == nil {
+		t.Error("missing arena should fail")
+	}
+	if _, err := NewRunner(Options{Arena: grid.MustNew(4, 4), CubeSide: 2}); err == nil {
+		t.Error("non-positive capacity should fail")
+	}
+	if _, err := NewRunner(Options{Arena: grid.MustNew(4, 4), CubeSide: 0, Capacity: 5}); err == nil {
+		t.Error("cube side 0 should fail")
+	}
+}
+
+func TestServeSingleJobAtActiveVertex(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	r := mustRunner(t, Options{Arena: arena, CubeSide: 4, Capacity: 10, Seed: 1})
+	// The service (black) vertex of some pair.
+	pos := r.Partition().Pairs()[0].ServicePos()
+	res, err := r.Run(demand.NewSequence([]grid.Point{pos}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Served != 1 {
+		t.Fatalf("result %+v", res)
+	}
+	if res.MaxEnergy != 1 { // no walk needed
+		t.Errorf("max energy %v, want 1", res.MaxEnergy)
+	}
+}
+
+func TestServeJobAtWhitePartnerCostsWalk(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	r := mustRunner(t, Options{Arena: arena, CubeSide: 4, Capacity: 10, Seed: 1})
+	var white grid.Point
+	found := false
+	for _, pr := range r.Partition().Pairs() {
+		if !pr.Single {
+			white = pr.Cells[1]
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no full pair")
+	}
+	res, err := r.Run(demand.NewSequence([]grid.Point{white}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.MaxEnergy != 2 { // walk 1 + serve 1
+		t.Fatalf("result %+v", res)
+	}
+}
+
+func TestReplacementViaDiffusion(t *testing.T) {
+	// Hammer one point with more jobs than one vehicle's capacity: the
+	// active vehicle must exhaust and recruit idle vehicles via Phase I/II.
+	arena := grid.MustNew(4, 4)
+	capacity := 6.0
+	r := mustRunner(t, Options{Arena: arena, CubeSide: 4, Capacity: capacity, Seed: 7})
+	pos := r.Partition().Pairs()[0].ServicePos()
+	jobs := make([]grid.Point, 20)
+	for i := range jobs {
+		jobs[i] = pos
+	}
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	if res.Served != 20 {
+		t.Errorf("served %d of 20", res.Served)
+	}
+	if res.Replacements < 3 {
+		t.Errorf("expected several replacements, got %d", res.Replacements)
+	}
+	if res.MaxEnergy > capacity {
+		t.Errorf("energy %v exceeded capacity %v", res.MaxEnergy, capacity)
+	}
+	if res.SearchFailures != 0 {
+		t.Errorf("search failures: %d", res.SearchFailures)
+	}
+}
+
+func TestCapacityExhaustionReportsFailures(t *testing.T) {
+	// A 2x2 arena has 2 pairs = 4 vehicles; demand beyond total capacity
+	// must fail rather than hang or over-serve.
+	arena := grid.MustNew(2, 2)
+	capacity := 4.0
+	r := mustRunner(t, Options{Arena: arena, CubeSide: 2, Capacity: capacity, Seed: 3})
+	pos := r.Partition().Pairs()[0].ServicePos()
+	jobs := make([]grid.Point, 50)
+	for i := range jobs {
+		jobs[i] = pos
+	}
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("50 jobs cannot fit in 4 vehicles x capacity 4")
+	}
+	if res.Served == 0 {
+		t.Error("some jobs should have been served before exhaustion")
+	}
+	if res.MaxEnergy > capacity {
+		t.Errorf("energy %v exceeded capacity %v", res.MaxEnergy, capacity)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	arena := grid.MustNew(6, 6)
+	rng := rand.New(rand.NewSource(11))
+	b, err := grid.NewBox(2, grid.P(0, 0), grid.P(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := demand.Uniform(rng, b, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := demand.SequenceOf(m, demand.OrderShuffled, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() *Result {
+		r := mustRunner(t, Options{Arena: arena, CubeSide: 3, Capacity: 12, Seed: 42, Monitoring: true})
+		res, err := r.Run(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b2 := run(), run()
+	if a.Served != b2.Served || a.Messages != b2.Messages ||
+		a.Replacements != b2.Replacements || a.MaxEnergy != b2.MaxEnergy {
+		t.Fatalf("nondeterministic: %+v vs %+v", a, b2)
+	}
+}
+
+func TestArrivalOutsideArena(t *testing.T) {
+	r := mustRunner(t, Options{Arena: grid.MustNew(4, 4), CubeSide: 2, Capacity: 5, Seed: 1})
+	if _, err := r.Run(demand.NewSequence([]grid.Point{grid.P(99, 99)})); err == nil {
+		t.Error("out-of-arena arrival should error")
+	}
+}
+
+// TestTheorem142Bound is experiment E7's heart: with capacity
+// W = (4*3^l + l) * omega_c the online strategy serves every job.
+func TestTheorem142Bound(t *testing.T) {
+	arena := grid.MustNew(8, 8)
+	rng := rand.New(rand.NewSource(19))
+	inner, err := grid.NewBox(2, grid.P(2, 2), grid.P(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		m, err := demand.Uniform(rng, inner, 100+rng.Int63n(150))
+		if err != nil {
+			t.Fatal(err)
+		}
+		char, err := offline.OmegaC(m, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l := 2
+		w := float64(4*9+l) * math.Max(char.Omega, 1)
+		seq, err := demand.SequenceOf(m, demand.OrderShuffled, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := mustRunner(t, Options{
+			Arena: arena, CubeSide: char.Side, Capacity: w, Seed: int64(trial),
+		})
+		res, err := r.Run(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.OK() {
+			t.Errorf("trial %d: W=(4*3^l+l)*omega_c=%v insufficient: %v",
+				trial, w, res.Failures[0])
+		}
+		if res.SearchFailures > 0 {
+			t.Errorf("trial %d: %d search failures at theorem capacity",
+				trial, res.SearchFailures)
+		}
+	}
+}
+
+func TestScenario2FailedInitiatorRescuedByMonitoring(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	// Capacity must exceed the cube diameter (6) plus the serve reserve, or
+	// recruits from the far corner arrive exhausted — the l*omega move term
+	// in Theorem 1.4.2's constant exists exactly for this.
+	capacity := 12.0
+	build := func(monitoring bool) (*Runner, grid.Point) {
+		r := mustRunner(t, Options{
+			Arena: arena, CubeSide: 4, Capacity: capacity, Seed: 5,
+			Monitoring: monitoring,
+			FailInitiate: map[grid.Point]bool{
+				// Every vehicle fails to initiate; only monitoring saves us.
+				grid.P(0, 0): true, grid.P(0, 1): true, grid.P(1, 0): true,
+				grid.P(1, 1): true, grid.P(0, 2): true, grid.P(0, 3): true,
+				grid.P(1, 2): true, grid.P(1, 3): true, grid.P(2, 0): true,
+				grid.P(2, 1): true, grid.P(3, 0): true, grid.P(3, 1): true,
+				grid.P(2, 2): true, grid.P(2, 3): true, grid.P(3, 2): true,
+				grid.P(3, 3): true,
+			},
+		})
+		return r, r.Partition().Pairs()[0].ServicePos()
+	}
+	jobs := func(pos grid.Point) *demand.Sequence {
+		js := make([]grid.Point, 16)
+		for i := range js {
+			js[i] = pos
+		}
+		return demand.NewSequence(js)
+	}
+
+	r, pos := build(true)
+	res, err := r.Run(jobs(pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("monitoring on: failures %v", res.Failures)
+	}
+	if res.MonitorRescues == 0 {
+		t.Error("monitoring on: expected watcher-initiated rescues")
+	}
+
+	r, pos = build(false)
+	res, err = r.Run(jobs(pos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Error("monitoring off with failed initiators should drop jobs")
+	}
+}
+
+func TestScenario3DeadVehicleRescuedByMonitoring(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	r := mustRunner(t, Options{
+		Arena: arena, CubeSide: 4, Capacity: 10, Seed: 9, Monitoring: true,
+	})
+	pos := r.Partition().Pairs()[0].ServicePos()
+	// Kill the pair's active vehicle right before arrival 3.
+	r2 := mustRunner(t, Options{
+		Arena: arena, CubeSide: 4, Capacity: 10, Seed: 9, Monitoring: true,
+		DeadBeforeArrival: map[grid.Point]int{pos: 3},
+	})
+	jobs := make([]grid.Point, 8)
+	for i := range jobs {
+		jobs[i] = pos
+	}
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("baseline run failed: %v", res.Failures)
+	}
+	res2, err := r2.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The job arriving while the vehicle is dead is lost (arrival 3), but
+	// monitoring must recruit a replacement so later jobs succeed.
+	if len(res2.Failures) != 1 {
+		t.Fatalf("expected exactly the in-gap job to fail, got %v", res2.Failures)
+	}
+	if res2.Served != 7 {
+		t.Errorf("served %d of 8 with one dead vehicle", res2.Served)
+	}
+	if res2.MonitorRescues == 0 {
+		t.Error("expected a monitor rescue for the dead vehicle")
+	}
+}
+
+func TestDeadBeforeArrivalUnknownCell(t *testing.T) {
+	r := mustRunner(t, Options{
+		Arena: grid.MustNew(2, 2), CubeSide: 2, Capacity: 5, Seed: 1,
+		DeadBeforeArrival: map[grid.Point]int{grid.P(9, 9): 0},
+	})
+	if _, err := r.Run(demand.NewSequence([]grid.Point{grid.P(0, 0)})); err == nil {
+		t.Error("unknown dead cell should error")
+	}
+}
+
+func TestMinCapacityBracketsTheoremBound(t *testing.T) {
+	arena := grid.MustNew(6, 6)
+	rng := rand.New(rand.NewSource(23))
+	b, err := grid.NewBox(2, grid.P(1, 1), grid.P(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := demand.Uniform(rng, b, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	char, err := offline.OmegaC(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := demand.SequenceOf(m, demand.OrderShuffled, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	won, err := MinCapacity(seq, Options{Arena: arena, CubeSide: char.Side, Seed: 31}, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	theorem := float64(4*9+2) * math.Max(char.Omega, 1)
+	if won > theorem*1.05 {
+		t.Errorf("measured Won %v exceeds theorem bound %v", won, theorem)
+	}
+	if won < 2 {
+		t.Errorf("Won %v below the trivial serve cost", won)
+	}
+}
+
+func TestWorkStateString(t *testing.T) {
+	for _, s := range []WorkState{Idle, Active, Done, Dead, WorkState(9)} {
+		if s.String() == "" {
+			t.Errorf("empty string for %d", int(s))
+		}
+	}
+}

@@ -1,0 +1,135 @@
+package online
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/grid"
+)
+
+// EventKind labels a traced simulation event.
+type EventKind int
+
+// Trace event kinds.
+const (
+	// EventServe records one job processed.
+	EventServe EventKind = iota + 1
+	// EventDone records a vehicle exhausting its energy.
+	EventDone
+	// EventDead records a Chapter 4 breakdown.
+	EventDead
+	// EventSearch records the start of a Phase I replacement search.
+	EventSearch
+	// EventSearchFail records a Phase I search finding no candidate.
+	EventSearchFail
+	// EventMove records a Phase II relocation.
+	EventMove
+	// EventRescue records a monitor-initiated search (Section 3.2.5).
+	EventRescue
+	// EventFailure records an unserved job.
+	EventFailure
+)
+
+// String implements fmt.Stringer.
+func (k EventKind) String() string {
+	switch k {
+	case EventServe:
+		return "serve"
+	case EventDone:
+		return "done"
+	case EventDead:
+		return "dead"
+	case EventSearch:
+		return "search"
+	case EventSearchFail:
+		return "search-fail"
+	case EventMove:
+		return "move"
+	case EventRescue:
+		return "rescue"
+	case EventFailure:
+		return "failure"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one structured trace record.
+type Event struct {
+	// Arrival is the index of the arrival being processed when the event
+	// fired.
+	Arrival int
+	Kind    EventKind
+	// Vehicle is the home cell of the vehicle involved (its identity).
+	Vehicle grid.Point
+	// Pos is the event location (job position, move destination, ...).
+	Pos grid.Point
+	// Energy is the vehicle's cumulative energy use after the event.
+	Energy float64
+	// Detail is a short human-readable annotation.
+	Detail string
+}
+
+// String renders the event as one log line.
+func (e Event) String() string {
+	s := fmt.Sprintf("[%4d] %-11s vehicle=%v pos=%v energy=%.1f",
+		e.Arrival, e.Kind, e.Vehicle, e.Pos, e.Energy)
+	if e.Detail != "" {
+		s += " " + e.Detail
+	}
+	return s
+}
+
+// Tracer receives simulation events. Implementations must be fast; the
+// runner calls them synchronously.
+type Tracer interface {
+	Emit(Event)
+}
+
+// SliceTracer accumulates events in memory.
+type SliceTracer struct {
+	Events []Event
+}
+
+var _ Tracer = (*SliceTracer)(nil)
+
+// Emit implements Tracer.
+func (s *SliceTracer) Emit(e Event) { s.Events = append(s.Events, e) }
+
+// Count returns how many events of the given kind were recorded.
+func (s *SliceTracer) Count(kind EventKind) int {
+	n := 0
+	for _, e := range s.Events {
+		if e.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// WriterTracer streams rendered events to an io.Writer.
+type WriterTracer struct {
+	W io.Writer
+}
+
+var _ Tracer = (*WriterTracer)(nil)
+
+// Emit implements Tracer.
+func (w *WriterTracer) Emit(e Event) {
+	fmt.Fprintln(w.W, e.String())
+}
+
+// emit is the runner's internal hook (nil-safe).
+func (r *Runner) emit(kind EventKind, vehicle, pos grid.Point, energy float64, detail string) {
+	if r.opts.Tracer == nil {
+		return
+	}
+	r.opts.Tracer.Emit(Event{
+		Arrival: r.currentArrival,
+		Kind:    kind,
+		Vehicle: vehicle,
+		Pos:     pos,
+		Energy:  energy,
+		Detail:  detail,
+	})
+}

@@ -1,0 +1,100 @@
+package online
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+func TestTraceCapturesLifecycle(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	tracer := &SliceTracer{}
+	r := mustRunner(t, Options{
+		Arena: arena, CubeSide: 4, Capacity: 10, Seed: 7, Tracer: tracer,
+	})
+	pos := r.Partition().Pairs()[0].ServicePos()
+	jobs := make([]grid.Point, 20)
+	for i := range jobs {
+		jobs[i] = pos
+	}
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("failures: %v", res.Failures)
+	}
+	if got := tracer.Count(EventServe); int64(got) != res.Served {
+		t.Errorf("serve events %d != served %d", got, res.Served)
+	}
+	if got := tracer.Count(EventMove); int64(got) != res.Replacements {
+		t.Errorf("move events %d != replacements %d", got, res.Replacements)
+	}
+	if got := tracer.Count(EventSearch); int64(got) != res.Searches {
+		t.Errorf("search events %d != searches %d", got, res.Searches)
+	}
+	if tracer.Count(EventDone) == 0 {
+		t.Error("expected done events")
+	}
+	// Events must carry increasing arrival indices.
+	prev := -1
+	for _, e := range tracer.Events {
+		if e.Arrival < prev {
+			t.Fatalf("arrival index regressed: %v after %d", e, prev)
+		}
+		prev = e.Arrival
+	}
+}
+
+func TestTraceFailureEvents(t *testing.T) {
+	arena := grid.MustNew(2, 2)
+	tracer := &SliceTracer{}
+	r := mustRunner(t, Options{
+		Arena: arena, CubeSide: 2, Capacity: 3, Seed: 7, Tracer: tracer,
+	})
+	pos := r.Partition().Pairs()[0].ServicePos()
+	jobs := make([]grid.Point, 40)
+	for i := range jobs {
+		jobs[i] = pos
+	}
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("overload should fail")
+	}
+	if got := tracer.Count(EventFailure); got != len(res.Failures) {
+		t.Errorf("failure events %d != failures %d", got, len(res.Failures))
+	}
+}
+
+func TestWriterTracerRendersLines(t *testing.T) {
+	var buf bytes.Buffer
+	tracer := &WriterTracer{W: &buf}
+	arena := grid.MustNew(2, 2)
+	r := mustRunner(t, Options{
+		Arena: arena, CubeSide: 2, Capacity: 10, Seed: 1, Tracer: tracer,
+	})
+	pos := r.Partition().Pairs()[0].ServicePos()
+	if _, err := r.Run(demand.NewSequence([]grid.Point{pos})); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "serve") || !strings.Contains(out, "vehicle=") {
+		t.Errorf("unexpected trace output: %q", out)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	kinds := []EventKind{EventServe, EventDone, EventDead, EventSearch,
+		EventSearchFail, EventMove, EventRescue, EventFailure, EventKind(99)}
+	for _, k := range kinds {
+		if k.String() == "" {
+			t.Errorf("empty string for %d", int(k))
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package online
+
+import (
+	"fmt"
+
+	"repro/internal/diffuse"
+	"repro/internal/grid"
+	"repro/internal/sim"
+)
+
+// WorkState is the working state S1 of thesis Section 3.2.1, extended with
+// the Dead state of Section 3.2.5 (a broken vehicle that can no longer
+// process jobs but still relays messages).
+type WorkState int
+
+// Working states.
+const (
+	Idle WorkState = iota + 1
+	Active
+	Done
+	Dead
+)
+
+// String implements fmt.Stringer.
+func (s WorkState) String() string {
+	switch s {
+	case Idle:
+		return "idle"
+	case Active:
+		return "active"
+	case Done:
+		return "done"
+	case Dead:
+		return "dead"
+	default:
+		return fmt.Sprintf("WorkState(%d)", int(s))
+	}
+}
+
+// Protocol messages beyond the diffuse package's Query/Reply/Forward.
+type (
+	// serveJob commands the receiving vehicle to serve one job at Pos.
+	serveJob struct{ Pos grid.Point }
+	// moveOrder is the Phase II payload: relocate to Dest and take over
+	// service of pair PairID.
+	moveOrder struct {
+		Dest   grid.Point
+		PairID int
+	}
+	// heartbeatRound tells an active vehicle to emit its Existing message.
+	heartbeatRound struct{}
+	// existing is the Section 3.2.5 liveness beacon from the active vehicle
+	// of PairID to its watcher.
+	existing struct{ PairID int }
+	// checkRound tells a watcher to act on heartbeats missed this round.
+	checkRound struct{}
+)
+
+// serveCost is the worst-case energy to process one job: walk at most
+// distance 1 to the partner vertex plus 1 unit of service (Section 3.2.2).
+const serveCost = 2.0
+
+// vehicle is one depot's vehicle: a sim.Process whose node id equals its
+// home cell's arena index. Its position changes when it replaces a done
+// vehicle; its network identity does not (the radio stays with the robot).
+type vehicle struct {
+	r    *Runner
+	id   sim.NodeID
+	home grid.Point
+
+	pos    grid.Point
+	state  WorkState
+	used   float64
+	pairID int // pair currently served (valid when Active) or home pair
+
+	eng *diffuse.Engine
+
+	// failInitiate simulates Section 3.2.5 scenario 2: on exhaustion the
+	// vehicle silently fails to start its replacement search.
+	failInitiate bool
+	// longevity is the Chapter 4 breakdown fraction p_i: the vehicle dies
+	// once used >= longevity * capacity. 1 means it never breaks.
+	longevity float64
+	// searchPair is the pair the in-flight search is recruiting for (the
+	// vehicle may initiate on behalf of a watched pair, not only its own);
+	// searchDest is where the recruit will be sent.
+	searchPair int
+	searchDest grid.Point
+
+	heard map[int]bool // watcher state: pairs heard from this round
+}
+
+var _ sim.Process = (*vehicle)(nil)
+
+func (v *vehicle) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	if v.eng.Handle(ctx, from, msg) {
+		return
+	}
+	switch m := msg.(type) {
+	case serveJob:
+		v.onServe(ctx, m.Pos)
+	case heartbeatRound:
+		v.onHeartbeat(ctx)
+	case existing:
+		if v.heard == nil {
+			v.heard = make(map[int]bool)
+		}
+		v.heard[m.PairID] = true
+	case checkRound:
+		v.onCheck(ctx)
+	default:
+		v.r.failf("vehicle %v: unexpected message %T", v.home, msg)
+	}
+}
+
+// onServe processes one job arrival at pos (which is within this vehicle's
+// pair, so at distance at most 1 from its position).
+func (v *vehicle) onServe(ctx *sim.Context, pos grid.Point) {
+	if v.state != Active {
+		v.r.recordFailure(pos, fmt.Sprintf("vehicle %v in state %v", v.home, v.state))
+		return
+	}
+	walk := float64(grid.Manhattan(v.pos, pos))
+	cost := walk + 1
+	if v.used+cost > v.r.opts.Capacity {
+		v.r.recordFailure(pos, fmt.Sprintf("vehicle %v out of energy (%.1f used)", v.home, v.used))
+		return
+	}
+	v.used += cost
+	v.pos = pos
+	v.r.served++
+	v.r.noteEnergy(v.used)
+	v.r.emit(EventServe, v.home, pos, v.used, "")
+	// Chapter 4 breakdown: the vehicle dies the moment a fraction p of its
+	// capacity is spent. A dead vehicle cannot initiate its own
+	// replacement — only the monitoring ring can catch this.
+	if v.breaksNow() {
+		v.state = Dead
+		v.r.emit(EventDead, v.home, v.pos, v.used,
+			fmt.Sprintf("longevity %.2f hit", v.longevity))
+		return
+	}
+	// Exhaustion check: if the next job (worst case cost 2) cannot be
+	// served, the vehicle is done and must recruit a replacement now.
+	if v.r.opts.Capacity-v.used < serveCost {
+		v.becomeDone(ctx)
+	}
+}
+
+// breaksNow reports whether the Chapter 4 longevity threshold has been hit.
+func (v *vehicle) breaksNow() bool {
+	return v.longevity < 1 && v.used >= v.longevity*v.r.opts.Capacity-1e-9
+}
+
+// untilBreak returns the energy this vehicle can still spend before its
+// longevity threshold (capacity when it never breaks).
+func (v *vehicle) untilBreak() float64 {
+	limit := v.r.opts.Capacity
+	if v.longevity < 1 {
+		limit = v.longevity * v.r.opts.Capacity
+	}
+	return limit - v.used
+}
+
+func (v *vehicle) becomeDone(ctx *sim.Context) {
+	v.state = Done
+	v.r.emit(EventDone, v.home, v.pos, v.used, "")
+	if v.failInitiate {
+		return // scenario 2: the monitoring ring must catch this
+	}
+	v.startReplacementSearch(ctx, v.pairID, v.pos)
+}
+
+// startReplacementSearch launches Phase I to recruit an idle vehicle for
+// pair pairID, directing the recruit to dest.
+func (v *vehicle) startReplacementSearch(ctx sim.Sender, pairID int, dest grid.Point) {
+	if v.r.pendingReplace[pairID] {
+		return
+	}
+	v.r.pendingReplace[pairID] = true
+	v.searchPair = pairID
+	v.r.searches++
+	v.searchDest = dest
+	v.r.emit(EventSearch, v.home, dest, v.used,
+		fmt.Sprintf("for pair %d", pairID))
+	v.eng.StartSearch(ctx)
+}
+
+func (v *vehicle) onSearchComplete(ctx sim.Sender, seq int, found bool) {
+	pairID := v.searchPair
+	if !found {
+		v.r.pendingReplace[pairID] = false
+		v.r.searchFailures++
+		v.r.emit(EventSearchFail, v.home, v.searchDest, v.used,
+			fmt.Sprintf("for pair %d", pairID))
+		return
+	}
+	if err := v.eng.ForwardPayload(ctx, seq, moveOrder{Dest: v.searchDest, PairID: pairID}); err != nil {
+		v.r.failf("vehicle %v: forward payload: %v", v.home, err)
+	}
+}
+
+func (v *vehicle) onMoveOrder(ctx sim.Sender, order moveOrder) {
+	if v.state != Idle {
+		// The protocol guarantees candidates are idle at recruitment time;
+		// a double recruit would be a bug, surface it.
+		v.r.failf("vehicle %v: move order while %v", v.home, v.state)
+		return
+	}
+	walk := float64(grid.Manhattan(v.pos, order.Dest))
+	if v.used+walk > v.r.opts.Capacity {
+		v.r.recordFailure(order.Dest,
+			fmt.Sprintf("recruit %v cannot afford move of %v", v.home, walk))
+		v.r.pendingReplace[order.PairID] = false
+		return
+	}
+	v.used += walk
+	v.r.noteEnergy(v.used)
+	v.pos = order.Dest
+	v.state = Active
+	v.pairID = order.PairID
+	v.r.pairActive[order.PairID] = v.id
+	v.r.pendingReplace[order.PairID] = false
+	v.r.replacements++
+	v.r.emit(EventMove, v.home, order.Dest, v.used,
+		fmt.Sprintf("takes over pair %d", order.PairID))
+	if v.breaksNow() {
+		v.state = Dead
+		v.r.emit(EventDead, v.home, v.pos, v.used,
+			fmt.Sprintf("longevity %.2f hit on arrival", v.longevity))
+		return
+	}
+	// If the move itself nearly drained the recruit, chain a further
+	// replacement immediately.
+	if v.r.opts.Capacity-v.used < serveCost {
+		v.state = Done
+		if !v.failInitiate {
+			v.startReplacementSearch(ctx, v.pairID, v.pos)
+		}
+	}
+}
+
+// onHeartbeat emits the Existing beacon if this vehicle is the live active
+// server of its pair (Section 3.2.5).
+func (v *vehicle) onHeartbeat(ctx *sim.Context) {
+	if v.state != Active || v.r.pairActive[v.pairID] != v.id {
+		return
+	}
+	watcherPair := v.r.part.WatcherPair(v.pairID)
+	watcher := v.r.pairActive[watcherPair]
+	if watcher == v.id {
+		return
+	}
+	ctx.Send(watcher, existing{PairID: v.pairID})
+}
+
+// onCheck inspects the heartbeats gathered since the last round and starts
+// replacement searches for watched pairs that went silent.
+func (v *vehicle) onCheck(ctx *sim.Context) {
+	if v.state != Active || v.r.pairActive[v.pairID] != v.id {
+		v.heard = nil
+		return
+	}
+	// Which pair does this vehicle watch? The ring is "pair i watches pair
+	// next(i)" — invert by scanning this cube's pairs.
+	for _, watched := range v.r.part.CubePairs(v.r.part.Pairs()[v.pairID].Cube) {
+		if v.r.part.WatcherPair(watched) != v.pairID || watched == v.pairID {
+			continue
+		}
+		if v.heard[watched] || v.r.pendingReplace[watched] {
+			continue
+		}
+		// Watched pair went silent: recruit a replacement on its behalf,
+		// directed at the pair's canonical service position.
+		v.r.monitorRescues++
+		v.r.emit(EventRescue, v.home, v.r.part.Pairs()[watched].ServicePos(), v.used,
+			fmt.Sprintf("pair %d went silent", watched))
+		v.startReplacementSearch(ctx, watched, v.r.part.Pairs()[watched].ServicePos())
+	}
+	v.heard = nil
+}

@@ -1,0 +1,86 @@
+// Package render draws 2-D CMVRP state as ASCII heat maps: demand
+// intensity, schedule activity, and partition overlays. It exists for the
+// CLI tools and examples — a reproduction of a sensor-network thesis should
+// let a human *see* the workloads it claims to serve.
+package render
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+	"repro/internal/offline"
+)
+
+// ramp maps intensity 0..1 to a density character.
+var ramp = []byte(" .:-=+*#%@")
+
+// cell returns the ramp character for value v scaled against max.
+func cell(v, max int64) byte {
+	if v <= 0 || max <= 0 {
+		return ramp[0]
+	}
+	idx := int(float64(len(ramp)-1)*float64(v)/float64(max) + 0.5)
+	if idx <= 0 {
+		idx = 1 // nonzero demand always visible
+	}
+	if idx >= len(ramp) {
+		idx = len(ramp) - 1
+	}
+	return ramp[idx]
+}
+
+// DemandHeatmap renders d(x) over the arena, one character per cell, rows
+// printed with increasing y downward.
+func DemandHeatmap(m *demand.Map, arena *grid.Grid) (string, error) {
+	if m.Dim() != 2 || arena.Dim() != 2 {
+		return "", fmt.Errorf("render: heatmap is 2-D only (got dim %d)", m.Dim())
+	}
+	max := m.Max()
+	var b strings.Builder
+	for y := 0; y < arena.Size(1); y++ {
+		for x := 0; x < arena.Size(0); x++ {
+			b.WriteByte(cell(m.At(grid.P(x, y)), max))
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString(legend(max))
+	return b.String(), nil
+}
+
+// ScheduleMap renders a verified offline schedule: '.' idle vehicle, 'o'
+// serves at home, '>' moved away to help, 'X' both.
+func ScheduleMap(sched *offline.Schedule, arena *grid.Grid) (string, error) {
+	if arena.Dim() != 2 {
+		return "", fmt.Errorf("render: schedule map is 2-D only")
+	}
+	marks := make(map[grid.Point]byte)
+	for _, pl := range sched.Plans {
+		switch {
+		case pl.ServeHome > 0 && pl.Moved:
+			marks[pl.Home] = 'X'
+		case pl.Moved:
+			marks[pl.Home] = '>'
+		case pl.ServeHome > 0:
+			marks[pl.Home] = 'o'
+		}
+	}
+	var b strings.Builder
+	for y := 0; y < arena.Size(1); y++ {
+		for x := 0; x < arena.Size(0); x++ {
+			if c, ok := marks[grid.P(x, y)]; ok {
+				b.WriteByte(c)
+			} else {
+				b.WriteByte('.')
+			}
+		}
+		b.WriteByte('\n')
+	}
+	b.WriteString("legend: o serves at home, > moved to help, X both, . idle\n")
+	return b.String(), nil
+}
+
+func legend(max int64) string {
+	return fmt.Sprintf("legend: ' '=0 .. '@'=%d jobs\n", max)
+}

@@ -1,0 +1,35 @@
+package sim
+
+import "testing"
+
+// relay forwards a hop counter around a ring.
+type relay struct{ next NodeID }
+
+func (r relay) OnMessage(ctx *Context, _ NodeID, msg Message) {
+	k, ok := msg.(int)
+	if !ok || k <= 0 {
+		return
+	}
+	ctx.Send(r.next, k-1)
+}
+
+// BenchmarkMessageThroughput measures raw simulator delivery rate on a
+// 64-node ring carrying long-lived token chains.
+func BenchmarkMessageThroughput(b *testing.B) {
+	const ring = 64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		n := NewNetwork(1)
+		for j := 0; j < ring; j++ {
+			if err := n.Add(NodeID(j), relay{next: NodeID((j + 1) % ring)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for j := 0; j < 8; j++ {
+			n.Inject(NodeID(j*7%ring), 1000)
+		}
+		if err := n.Run(10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,176 @@
+// Package sim is a deterministic discrete-event message-passing simulator
+// implementing the communication model of thesis Section 3.2: processes with
+// unbounded input buffers, bidirectional error-free links, per-link FIFO
+// ("synchronous communication: messages from P to Q arrive in the order
+// sent"), and arbitrary finite delays — realized by delivering, at each
+// step, the head message of a pseudo-randomly chosen nonempty link. With a
+// fixed seed every run is bit-for-bit reproducible.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+)
+
+// NodeID identifies a process in the network.
+type NodeID int32
+
+// None is the null node id (used for "no parent" and similar sentinels).
+const None NodeID = -1
+
+// Message is an opaque payload delivered to a process.
+type Message interface{}
+
+// Process is a network participant. Implementations must be deterministic
+// functions of their delivered messages to preserve run reproducibility.
+type Process interface {
+	// OnMessage handles one delivered message. Sends made through ctx are
+	// enqueued, not delivered inline.
+	OnMessage(ctx *Context, from NodeID, msg Message)
+}
+
+// ErrStepLimit is returned by Run when delivery does not quiesce within the
+// step budget — usually a protocol livelock.
+var ErrStepLimit = errors.New("sim: step limit exceeded before quiescence")
+
+type link struct{ from, to NodeID }
+
+// Network owns the processes and undelivered messages. It is single
+// threaded: determinism comes free and the package is safe exactly when a
+// Network is confined to one goroutine.
+type Network struct {
+	rng       *rand.Rand
+	procs     map[NodeID]Process
+	queues    map[link][]envelope
+	ready     []link // links with pending messages
+	delivered int64
+	sent      int64
+}
+
+type envelope struct {
+	from NodeID
+	msg  Message
+}
+
+// NewNetwork creates an empty network with the given determinism seed.
+func NewNetwork(seed int64) *Network {
+	return &Network{
+		rng:    rand.New(rand.NewSource(seed)),
+		procs:  make(map[NodeID]Process),
+		queues: make(map[link][]envelope),
+	}
+}
+
+// Add registers a process under id.
+func (n *Network) Add(id NodeID, p Process) error {
+	if p == nil {
+		return fmt.Errorf("sim: nil process for node %d", id)
+	}
+	if _, dup := n.procs[id]; dup {
+		return fmt.Errorf("sim: duplicate node id %d", id)
+	}
+	n.procs[id] = p
+	return nil
+}
+
+// Context is the capability handed to a process while it handles a message.
+type Context struct {
+	net  *Network
+	self NodeID
+}
+
+// Self returns the id of the process being invoked.
+func (c *Context) Self() NodeID { return c.self }
+
+// Send enqueues a message from the current process to another node.
+func (c *Context) Send(to NodeID, msg Message) {
+	c.net.enqueue(c.self, to, msg)
+}
+
+// Sender is the minimal sending capability, implemented by *Context;
+// protocol engines (package diffuse) depend only on this.
+type Sender interface {
+	Self() NodeID
+	Send(to NodeID, msg Message)
+}
+
+var _ Sender = (*Context)(nil)
+
+// Inject delivers an external event into a node's input buffer, e.g. a job
+// arrival. from is recorded as None.
+func (n *Network) Inject(to NodeID, msg Message) {
+	n.enqueue(None, to, msg)
+}
+
+func (n *Network) enqueue(from, to NodeID, msg Message) {
+	l := link{from, to}
+	q := n.queues[l]
+	if len(q) == 0 {
+		n.ready = append(n.ready, l)
+	}
+	n.queues[l] = append(q, envelope{from, msg})
+	n.sent++
+}
+
+// Step delivers one pending message (if any) and reports whether it did.
+func (n *Network) Step() (bool, error) {
+	for len(n.ready) > 0 {
+		i := n.rng.Intn(len(n.ready))
+		l := n.ready[i]
+		q := n.queues[l]
+		if len(q) == 0 {
+			// Stale entry (queue drained under a different ready slot).
+			n.ready[i] = n.ready[len(n.ready)-1]
+			n.ready = n.ready[:len(n.ready)-1]
+			continue
+		}
+		env := q[0]
+		rest := q[1:]
+		if len(rest) == 0 {
+			delete(n.queues, l)
+			n.ready[i] = n.ready[len(n.ready)-1]
+			n.ready = n.ready[:len(n.ready)-1]
+		} else {
+			n.queues[l] = rest
+		}
+		p, ok := n.procs[l.to]
+		if !ok {
+			return false, fmt.Errorf("sim: message to unknown node %d", l.to)
+		}
+		n.delivered++
+		p.OnMessage(&Context{net: n, self: l.to}, env.from, env.msg)
+		return true, nil
+	}
+	return false, nil
+}
+
+// Run delivers messages until the network quiesces (no pending messages) or
+// maxSteps deliveries have happened, in which case ErrStepLimit is returned.
+func (n *Network) Run(maxSteps int64) error {
+	for steps := int64(0); ; steps++ {
+		if steps >= maxSteps {
+			if len(n.ready) == 0 {
+				return nil
+			}
+			return fmt.Errorf("%w (after %d deliveries)", ErrStepLimit, maxSteps)
+		}
+		progressed, err := n.Step()
+		if err != nil {
+			return err
+		}
+		if !progressed {
+			return nil
+		}
+	}
+}
+
+// Delivered returns the number of messages delivered so far — the message
+// complexity metric for experiment E8.
+func (n *Network) Delivered() int64 { return n.delivered }
+
+// Sent returns the number of messages enqueued so far.
+func (n *Network) Sent() int64 { return n.sent }
+
+// Pending returns the number of undelivered messages.
+func (n *Network) Pending() int64 { return n.sent - n.delivered }

@@ -1,0 +1,186 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// echoProc replies "ack" to every "ping" and records deliveries.
+type echoProc struct {
+	got []Message
+}
+
+func (e *echoProc) OnMessage(ctx *Context, from NodeID, msg Message) {
+	e.got = append(e.got, msg)
+	if msg == "ping" && from != None {
+		ctx.Send(from, "ack")
+	}
+}
+
+type silentProc struct{ got []Message }
+
+func (s *silentProc) OnMessage(_ *Context, _ NodeID, msg Message) {
+	s.got = append(s.got, msg)
+}
+
+func TestAddValidation(t *testing.T) {
+	n := NewNetwork(1)
+	if err := n.Add(1, nil); err == nil {
+		t.Error("nil process should fail")
+	}
+	if err := n.Add(1, &silentProc{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(1, &silentProc{}); err == nil {
+		t.Error("duplicate id should fail")
+	}
+}
+
+func TestInjectAndQuiesce(t *testing.T) {
+	n := NewNetwork(1)
+	p := &silentProc{}
+	if err := n.Add(7, p); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(7, "hello")
+	n.Inject(7, "world")
+	if err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(p.got) != 2 || p.got[0] != "hello" || p.got[1] != "world" {
+		t.Fatalf("got %v", p.got)
+	}
+	if n.Delivered() != 2 || n.Pending() != 0 {
+		t.Errorf("delivered=%d pending=%d", n.Delivered(), n.Pending())
+	}
+}
+
+func TestPingAck(t *testing.T) {
+	n := NewNetwork(2)
+	a, b := &echoProc{}, &echoProc{}
+	if err := n.Add(1, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(2, b); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(1, "go") // a does nothing with "go"
+	// Make a ping b by sending a ping from node 2's perspective: inject a
+	// "ping" to b with from recorded as None does not ack; instead deliver a
+	// ping from a to b through a's handler.
+	n.Inject(2, "ping") // from None: no ack expected
+	if err := n.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.got) != 1 {
+		t.Fatalf("b got %v", b.got)
+	}
+	if len(a.got) != 1 {
+		t.Fatalf("a got %v", a.got)
+	}
+}
+
+// chainProc forwards a counter down a chain until it hits zero.
+type chainProc struct {
+	next NodeID
+	seen int
+}
+
+func (c *chainProc) OnMessage(ctx *Context, _ NodeID, msg Message) {
+	k, ok := msg.(int)
+	if !ok {
+		return
+	}
+	c.seen++
+	if k > 0 && c.next != None {
+		ctx.Send(c.next, k-1)
+	}
+}
+
+func TestChainDeterminism(t *testing.T) {
+	run := func(seed int64) int64 {
+		n := NewNetwork(seed)
+		const hops = 50
+		for i := 0; i < hops; i++ {
+			next := NodeID(i + 1)
+			if i == hops-1 {
+				next = None
+			}
+			if err := n.Add(NodeID(i), &chainProc{next: next}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		n.Inject(0, hops)
+		if err := n.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		return n.Delivered()
+	}
+	if run(3) != run(3) {
+		t.Error("same seed must give identical delivery counts")
+	}
+	if run(3) != 50 {
+		t.Errorf("chain should deliver 50 messages, got %d", run(3))
+	}
+}
+
+func TestPerLinkFIFO(t *testing.T) {
+	// Two streams into one node over the same link must stay ordered even
+	// when many other links churn.
+	n := NewNetwork(99)
+	sink := &silentProc{}
+	if err := n.Add(0, sink); err != nil {
+		t.Fatal(err)
+	}
+	noise := &silentProc{}
+	if err := n.Add(1, noise); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		n.Inject(0, i)
+		n.Inject(1, i)
+	}
+	if err := n.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if sink.got[i] != i {
+			t.Fatalf("FIFO violated at %d: %v", i, sink.got[i])
+		}
+	}
+}
+
+// loopProc sends to itself forever — a livelock the step limit must catch.
+type loopProc struct{}
+
+func (loopProc) OnMessage(ctx *Context, _ NodeID, msg Message) {
+	ctx.Send(ctx.Self(), msg)
+}
+
+func TestStepLimit(t *testing.T) {
+	n := NewNetwork(5)
+	if err := n.Add(1, loopProc{}); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(1, "spin")
+	err := n.Run(100)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("want ErrStepLimit, got %v", err)
+	}
+}
+
+func TestUnknownRecipient(t *testing.T) {
+	n := NewNetwork(5)
+	n.Inject(42, "lost")
+	if err := n.Run(10); err == nil {
+		t.Error("message to unknown node should error")
+	}
+}
+
+func TestStepOnEmptyNetwork(t *testing.T) {
+	n := NewNetwork(5)
+	progressed, err := n.Step()
+	if err != nil || progressed {
+		t.Errorf("empty step: %v %v", progressed, err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package simplex implements a dense two-phase primal simplex solver for
+// small linear programs in standard inequality form:
+//
+//	maximize  c^T x   subject to  A x <= b,  x >= 0.
+//
+// The thesis' entire offline analysis is a chain of LPs (programs 2.1-2.8
+// and their duals in Table 1); packages flow/lpchar solve them by
+// combinatorial reductions. This package provides the direct LP route, used
+// in tests as a third independent check on small instances — if the duality
+// chain in Section 2.2 is transcribed correctly, all three must agree.
+package simplex
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Eps is the pivoting tolerance.
+const Eps = 1e-9
+
+// Status describes a solve outcome.
+type Status int
+
+// Solve outcomes.
+const (
+	// Optimal means an optimal solution was found.
+	Optimal Status = iota + 1
+	// Infeasible means the constraints admit no solution.
+	Infeasible
+	// Unbounded means the objective can grow without limit.
+	Unbounded
+)
+
+// String implements fmt.Stringer.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Problem is an LP in standard inequality form.
+type Problem struct {
+	// C is the objective vector (maximize C.x).
+	C []float64
+	// A is the constraint matrix, row-major; each row i satisfies
+	// A[i].x <= B[i].
+	A [][]float64
+	// B is the right-hand side.
+	B []float64
+}
+
+// Solution is an LP result.
+type Solution struct {
+	Status Status
+	// Value is the optimal objective (valid when Status == Optimal).
+	Value float64
+	// X is an optimal assignment (valid when Status == Optimal).
+	X []float64
+}
+
+// ErrBadShape is returned for inconsistent problem dimensions.
+var ErrBadShape = errors.New("simplex: inconsistent problem shape")
+
+// Solve runs two-phase simplex (Bland's rule, so it cannot cycle).
+func Solve(p Problem) (*Solution, error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m {
+		return nil, fmt.Errorf("%w: %d rows vs %d rhs", ErrBadShape, m, len(p.B))
+	}
+	for i, row := range p.A {
+		if len(row) != n {
+			return nil, fmt.Errorf("%w: row %d has %d cols, want %d", ErrBadShape, i, len(row), n)
+		}
+	}
+	for _, v := range p.C {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("simplex: non-finite objective coefficient %v", v)
+		}
+	}
+	// Tableau with slack variables; negative rhs rows need phase 1.
+	t := newTableau(p)
+	if t.needPhase1 {
+		if !t.phase1() {
+			return &Solution{Status: Infeasible}, nil
+		}
+	}
+	switch t.phase2() {
+	case Unbounded:
+		return &Solution{Status: Unbounded}, nil
+	default:
+		x := t.extract()
+		return &Solution{Status: Optimal, Value: t.objective(p.C, x), X: x}, nil
+	}
+}
+
+// tableau holds the dense simplex state: rows are constraints, columns are
+// [structural | slack | artificial], with a basis index per row.
+type tableau struct {
+	n, m       int // structural vars, constraints
+	nArt       int
+	a          [][]float64 // m x (n + m + nArt)
+	b          []float64
+	basis      []int
+	cost       []float64 // current objective row (phase-dependent)
+	needPhase1 bool
+	artStart   int
+	pOrig      Problem
+}
+
+func newTableau(p Problem) *tableau {
+	n, m := len(p.C), len(p.A)
+	t := &tableau{n: n, m: m, pOrig: p}
+	// Count artificials: one per negative-rhs row.
+	for _, bi := range p.B {
+		if bi < 0 {
+			t.nArt++
+		}
+	}
+	t.needPhase1 = t.nArt > 0
+	cols := n + m + t.nArt
+	t.artStart = n + m
+	t.a = make([][]float64, m)
+	t.b = make([]float64, m)
+	t.basis = make([]int, m)
+	art := 0
+	for i := 0; i < m; i++ {
+		row := make([]float64, cols)
+		sign := 1.0
+		if p.B[i] < 0 {
+			sign = -1 // multiply the row by -1 so rhs >= 0
+		}
+		for j := 0; j < n; j++ {
+			row[j] = sign * p.A[i][j]
+		}
+		row[n+i] = sign // slack (negative slack coefficient when flipped)
+		t.b[i] = sign * p.B[i]
+		if sign < 0 {
+			// Flipped row: slack coefficient is -1, not a valid basis
+			// column; add an artificial.
+			row[t.artStart+art] = 1
+			t.basis[i] = t.artStart + art
+			art++
+		} else {
+			t.basis[i] = n + i
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+// phase1 drives the artificials out; returns false when infeasible.
+func (t *tableau) phase1() bool {
+	cols := len(t.a[0])
+	t.cost = make([]float64, cols)
+	for j := t.artStart; j < cols; j++ {
+		t.cost[j] = -1 // maximize -sum(artificials)
+	}
+	obj := t.run()
+	if obj == Unbounded {
+		return false // cannot happen for phase 1, defensive
+	}
+	// Feasible iff all artificials are zero.
+	for i, bi := range t.basis {
+		if bi >= t.artStart && t.b[i] > Eps {
+			return false
+		}
+	}
+	// Pivot any residual artificial out of the basis if possible.
+	for i, bi := range t.basis {
+		if bi < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > Eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+	return true
+}
+
+func (t *tableau) phase2() Status {
+	cols := len(t.a[0])
+	t.cost = make([]float64, cols)
+	copy(t.cost, t.pOrig.C)
+	// Artificials must never re-enter.
+	for j := t.artStart; j < cols; j++ {
+		t.cost[j] = math.Inf(-1)
+	}
+	return t.run()
+}
+
+// run performs simplex iterations with Bland's rule until optimal or
+// unbounded, maintaining reduced costs implicitly (recomputed per pivot for
+// clarity; instances here are small).
+func (t *tableau) run() Status {
+	for iter := 0; iter < 10000*(t.m+t.n+1); iter++ {
+		// Reduced costs: c_j - c_B . column_j.
+		enter := -1
+		for j := 0; j < len(t.a[0]); j++ {
+			if math.IsInf(t.cost[j], -1) {
+				continue
+			}
+			rc := t.cost[j]
+			for i := 0; i < t.m; i++ {
+				cb := t.cost[t.basis[i]]
+				if math.IsInf(cb, -1) {
+					cb = 0
+				}
+				rc -= cb * t.a[i][j]
+			}
+			if rc > Eps {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return Optimal
+		}
+		// Ratio test (Bland: smallest basis index breaks ties).
+		leave := -1
+		best := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			if t.a[i][enter] > Eps {
+				ratio := t.b[i] / t.a[i][enter]
+				if ratio < best-Eps || (ratio < best+Eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return Unbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return Optimal // iteration cap; unreachable with Bland's rule
+}
+
+func (t *tableau) pivot(row, col int) {
+	pv := t.a[row][col]
+	inv := 1 / pv
+	for j := range t.a[row] {
+		t.a[row][j] *= inv
+	}
+	t.b[row] *= inv
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i][col]
+		if math.Abs(f) <= Eps {
+			continue
+		}
+		for j := range t.a[i] {
+			t.a[i][j] -= f * t.a[row][j]
+		}
+		t.b[i] -= f * t.b[row]
+	}
+	t.basis[row] = col
+}
+
+func (t *tableau) extract() []float64 {
+	x := make([]float64, t.n)
+	for i, bi := range t.basis {
+		if bi < t.n {
+			x[bi] = t.b[i]
+		}
+	}
+	return x
+}
+
+func (t *tableau) objective(c, x []float64) float64 {
+	v := 0.0
+	for j := range c {
+		v += c[j] * x[j]
+	}
+	return v
+}

@@ -1,0 +1,154 @@
+// Package termination implements Dijkstra-Scholten termination detection
+// for arbitrary diffusing computations — the primitive thesis Section 3.1
+// cites from Dijkstra & Scholten (1980) and whose specialized search form
+// package diffuse uses. A single root injects application messages; any
+// node receiving a message may send further messages; the detector tells
+// the root when the whole computation has quiesced.
+//
+// Mechanics (the classic deficit/tree scheme): every application message
+// must eventually be acknowledged. The first message a disengaged node
+// receives engages it, recording the sender as its tree parent; that
+// engaging message is acknowledged only when the node disengages — which it
+// does once it is locally idle and all of its own messages have been
+// acknowledged. Every other message is acknowledged immediately after
+// processing. Termination has occurred exactly when the root's deficit
+// drops to zero.
+package termination
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// AppMsg wraps an application payload with detection bookkeeping.
+type AppMsg struct {
+	Payload sim.Message
+}
+
+// Ack acknowledges one application message.
+type Ack struct{}
+
+// Handler is the application logic hosted on a node: it receives payloads
+// and may send more through the node.
+type Handler func(n *Node, ctx sim.Sender, from sim.NodeID, payload sim.Message)
+
+// Node hosts one participant of the diffusing computation. It implements
+// sim.Process; application sends must go through Send so deficits track.
+type Node struct {
+	handler Handler
+
+	engaged     bool
+	parent      sim.NodeID
+	outstanding int // my messages not yet acknowledged
+
+	// Root bookkeeping: a root engages itself at Start and reports
+	// termination through onTerminated.
+	isRoot       bool
+	onTerminated func()
+
+	// Stats for tests and experiments.
+	Received int64
+	Acked    int64
+	// Unknown counts messages that were neither AppMsg nor Ack — always a
+	// wiring bug; tests assert it stays zero.
+	Unknown int64
+}
+
+var _ sim.Process = (*Node)(nil)
+
+// NewNode creates a participant node with the given application handler.
+func NewNode(handler Handler) (*Node, error) {
+	if handler == nil {
+		return nil, fmt.Errorf("termination: handler is required")
+	}
+	return &Node{handler: handler, parent: sim.None}, nil
+}
+
+// NewRoot creates the computation's root. onTerminated fires when the
+// detector proves global termination.
+func NewRoot(handler Handler, onTerminated func()) (*Node, error) {
+	n, err := NewNode(handler)
+	if err != nil {
+		return nil, err
+	}
+	if onTerminated == nil {
+		return nil, fmt.Errorf("termination: onTerminated is required for a root")
+	}
+	n.isRoot = true
+	n.onTerminated = onTerminated
+	return n, nil
+}
+
+// Send transmits an application payload with detection bookkeeping. It must
+// be called only from within a handler invocation (or Start, for the root).
+func (n *Node) Send(ctx sim.Sender, to sim.NodeID, payload sim.Message) {
+	n.outstanding++
+	ctx.Send(to, AppMsg{Payload: payload})
+}
+
+// Start launches the computation from the root: it engages the root and
+// runs the handler once with the given payload (from = sim.None).
+func (n *Node) Start(ctx sim.Sender, payload sim.Message) error {
+	if !n.isRoot {
+		return fmt.Errorf("termination: Start on a non-root node")
+	}
+	if n.engaged {
+		return fmt.Errorf("termination: root already engaged")
+	}
+	n.engaged = true
+	n.handler(n, ctx, sim.None, payload)
+	n.maybeDisengage(ctx)
+	return nil
+}
+
+// Engaged reports whether the node is currently part of the computation
+// tree.
+func (n *Node) Engaged() bool { return n.engaged }
+
+// OnMessage implements sim.Process.
+func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+	switch m := msg.(type) {
+	case AppMsg:
+		n.Received++
+		engaging := !n.engaged
+		if engaging {
+			n.engaged = true
+			n.parent = from
+		}
+		n.handler(n, ctx, from, m.Payload)
+		if !engaging {
+			// Non-engaging messages are acknowledged as soon as the local
+			// processing they triggered is done.
+			ctx.Send(from, Ack{})
+			n.Acked++
+		}
+		n.maybeDisengage(ctx)
+	case Ack:
+		n.outstanding--
+		n.maybeDisengage(ctx)
+	default:
+		// Nodes in this package host only the diffusing computation, so an
+		// alien message is a wiring bug; tests assert Unknown == 0.
+		n.Unknown++
+	}
+}
+
+// maybeDisengage sends the deferred ack for the engaging message once the
+// node is idle with zero deficit; at the root it signals termination.
+func (n *Node) maybeDisengage(ctx sim.Sender) {
+	if !n.engaged || n.outstanding > 0 {
+		return
+	}
+	// Locally idle (handler returned) with zero deficit: leave the tree.
+	n.engaged = false
+	if n.isRoot {
+		n.onTerminated()
+		return
+	}
+	if n.parent != sim.None {
+		ctx.Send(n.parent, Ack{})
+		n.Acked++
+		n.parent = sim.None
+	}
+}

@@ -1,0 +1,216 @@
+package termination
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// probe is a payload that asks the receiver to fan out `ttl` more probes.
+type probe struct {
+	TTL    int
+	Fanout int
+}
+
+// fanoutHandler forwards probes with decremented TTL to pseudo-random
+// neighbors (deterministic per node via its own seeded rng).
+func fanoutHandler(neighbors []sim.NodeID, seed int64) Handler {
+	rng := rand.New(rand.NewSource(seed))
+	return func(n *Node, ctx sim.Sender, _ sim.NodeID, payload sim.Message) {
+		p, ok := payload.(probe)
+		if !ok || p.TTL <= 0 || len(neighbors) == 0 {
+			return
+		}
+		for i := 0; i < p.Fanout; i++ {
+			to := neighbors[rng.Intn(len(neighbors))]
+			n.Send(ctx, to, probe{TTL: p.TTL - 1, Fanout: p.Fanout})
+		}
+	}
+}
+
+type fakeSender struct{ sent int }
+
+func (f *fakeSender) Self() sim.NodeID             { return 0 }
+func (f *fakeSender) Send(sim.NodeID, sim.Message) { f.sent++ }
+
+func TestValidation(t *testing.T) {
+	if _, err := NewNode(nil); err == nil {
+		t.Error("nil handler should fail")
+	}
+	h := func(*Node, sim.Sender, sim.NodeID, sim.Message) {}
+	if _, err := NewRoot(h, nil); err == nil {
+		t.Error("nil onTerminated should fail")
+	}
+	n, err := NewNode(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Start(&fakeSender{}, nil); err == nil {
+		t.Error("Start on non-root should fail")
+	}
+}
+
+func TestImmediateTermination(t *testing.T) {
+	// Root handler sends nothing: termination must fire synchronously.
+	fired := 0
+	root, err := NewRoot(func(*Node, sim.Sender, sim.NodeID, sim.Message) {},
+		func() { fired++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Start(&fakeSender{}, "go"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Fatalf("terminated fired %d times", fired)
+	}
+	if root.Engaged() {
+		t.Error("root still engaged")
+	}
+	if err := root.Start(&fakeSender{}, "again"); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 2 {
+		t.Error("root must be restartable after termination")
+	}
+}
+
+func TestDoubleStartRejected(t *testing.T) {
+	fired := false
+	root, err := NewRoot(func(n *Node, ctx sim.Sender, _ sim.NodeID, _ sim.Message) {
+		n.Send(ctx, 1, "x") // keeps the root engaged
+	}, func() { fired = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Start(&fakeSender{}, "go"); err != nil {
+		t.Fatal(err)
+	}
+	if err := root.Start(&fakeSender{}, "go"); err == nil {
+		t.Error("second Start while engaged should fail")
+	}
+	if fired {
+		t.Error("terminated before acks")
+	}
+}
+
+// TestDetectionOnRandomComputations is the core property: over random
+// fanout computations on random node sets, termination is detected exactly
+// once, only after the network quiesces, with every inter-node app message
+// acknowledged.
+func TestDetectionOnRandomComputations(t *testing.T) {
+	for trial := 0; trial < 40; trial++ {
+		rng := rand.New(rand.NewSource(int64(trial)))
+		nNodes := 3 + rng.Intn(10)
+		ids := make([]sim.NodeID, nNodes)
+		for i := range ids {
+			ids[i] = sim.NodeID(i)
+		}
+		net := sim.NewNetwork(int64(trial) * 7)
+		fired := 0
+		nodes := make([]*Node, nNodes)
+		for i := 0; i < nNodes; i++ {
+			h := fanoutHandler(ids, int64(trial*100+i))
+			var n *Node
+			var err error
+			if i == 0 {
+				// The root is bootstrapped by an environment-injected
+				// AppMsg (from = sim.None), so its engaging message owes
+				// no acknowledgement.
+				n, err = NewRoot(h, func() { fired++ })
+			} else {
+				n, err = NewNode(h)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			nodes[i] = n
+			if err := net.Add(ids[i], n); err != nil {
+				t.Fatal(err)
+			}
+		}
+		boot := probe{TTL: 1 + rng.Intn(4), Fanout: 1 + rng.Intn(3)}
+		net.Inject(0, AppMsg{Payload: boot})
+		if err := net.Run(1_000_000); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if fired != 1 {
+			t.Fatalf("trial %d: terminated fired %d times", trial, fired)
+		}
+		var received, acked, unknown int64
+		for _, n := range nodes {
+			if n.Engaged() {
+				t.Fatalf("trial %d: node still engaged after termination", trial)
+			}
+			received += n.Received
+			acked += n.Acked
+			unknown += n.Unknown
+		}
+		if unknown != 0 {
+			t.Fatalf("trial %d: %d unknown messages", trial, unknown)
+		}
+		// Every app message is acked except the environment's bootstrap.
+		if received != acked+1 {
+			t.Fatalf("trial %d: %d received vs %d acked (+1 bootstrap)",
+				trial, received, acked)
+		}
+	}
+}
+
+// TestDetectionNotPremature instruments a long chain: the root must not be
+// notified before the farthest node has processed its message.
+func TestDetectionNotPremature(t *testing.T) {
+	const hops = 30
+	net := sim.NewNetwork(11)
+	processedLast := false
+	prematureAt := false
+	var nodes []*Node
+	for i := 0; i < hops; i++ {
+		i := i
+		h := func(n *Node, ctx sim.Sender, _ sim.NodeID, payload sim.Message) {
+			k, ok := payload.(int)
+			if !ok {
+				return
+			}
+			if k == 0 {
+				processedLast = true
+				return
+			}
+			n.Send(ctx, sim.NodeID(i+1), k-1)
+		}
+		var n *Node
+		var err error
+		if i == 0 {
+			n, err = NewRoot(h, func() {
+				if !processedLast {
+					prematureAt = true
+				}
+			})
+		} else {
+			n, err = NewNode(h)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		nodes = append(nodes, n)
+		if err := net.Add(sim.NodeID(i), n); err != nil {
+			t.Fatal(err)
+		}
+	}
+	net.Inject(0, AppMsg{Payload: hops - 1})
+	if err := net.Run(100_000); err != nil {
+		t.Fatal(err)
+	}
+	if !processedLast {
+		t.Fatal("chain never completed")
+	}
+	if prematureAt {
+		t.Fatal("termination detected before the chain finished")
+	}
+	for i, n := range nodes {
+		if n.Engaged() {
+			t.Errorf("node %d still engaged", i)
+		}
+	}
+}

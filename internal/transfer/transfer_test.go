@@ -1,0 +1,221 @@
+package transfer
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+	"repro/internal/lpchar"
+)
+
+func TestRetention(t *testing.T) {
+	if Retention(10, 0) != 1 {
+		t.Error("distance 0 should retain everything")
+	}
+	if got, want := Retention(10, 1), 0.9; math.Abs(got-want) > 1e-12 {
+		t.Errorf("Retention(10,1) = %v", got)
+	}
+	if Retention(1, 5) != 0 || Retention(10, -1) != 0 {
+		t.Error("degenerate retention should be 0")
+	}
+	// Monotone decreasing in distance.
+	prev := 1.0
+	for d := 1; d < 50; d++ {
+		r := Retention(7, d)
+		if r >= prev {
+			t.Fatalf("retention not decreasing at %d", d)
+		}
+		prev = r
+	}
+}
+
+func TestSquareImportBudgetMatchesExpansion(t *testing.T) {
+	// The budget is W*(s^2 + 4W^2 + 4sW - 8W - 4s + 4); spot-check the
+	// algebra against a direct evaluation.
+	for _, tc := range []struct {
+		w float64
+		s int
+	}{{2, 1}, {5, 3}, {10, 8}} {
+		sf := float64(tc.s)
+		want := tc.w * (sf*sf + 4*tc.w*tc.w + 4*sf*tc.w - 8*tc.w - 4*sf + 4)
+		if got := SquareImportBudget(tc.w, tc.s); math.Abs(got-want) > 1e-9 {
+			t.Errorf("budget(%v,%d) = %v, want %v", tc.w, tc.s, got, want)
+		}
+	}
+}
+
+// TestTransfersDontBeatWoffByMoreThanConstant reproduces Theorem 5.1.1's
+// conclusion: the transfer lower bound is Omega(omega*) — same order as Woff
+// — so with tanks equal to initial charge, transfers buy at most a constant.
+func TestTransfersDontBeatWoffByMoreThanConstant(t *testing.T) {
+	for _, d := range []int64{100, 1000, 10000} {
+		m, err := demand.PointMass(2, grid.P(0, 0), d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lb, err := LowerBoundSquares(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		omegaStar, err := lpchar.OmegaStarFlow(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if lb <= 0 {
+			t.Fatalf("d=%d: nonpositive transfer bound", d)
+		}
+		ratio := omegaStar / lb
+		// Theta relationship: ratio bounded both ways by modest constants.
+		if ratio < 0.2 || ratio > 20 {
+			t.Errorf("d=%d: omega* %v vs transfer bound %v (ratio %v) not same order",
+				d, omegaStar, lb, ratio)
+		}
+	}
+}
+
+func TestLowerBoundSquaresValidation(t *testing.T) {
+	if _, err := LowerBoundSquares(demand.NewMap(1)); err == nil {
+		t.Error("non-2D should fail")
+	}
+	if v, err := LowerBoundSquares(demand.NewMap(2)); err != nil || v != 0 {
+		t.Errorf("empty: %v %v", v, err)
+	}
+}
+
+func TestConvoyValidation(t *testing.T) {
+	if _, err := Convoy(ConvoyParams{Demands: []int64{1, 2}, Accounting: FixedCost}); err == nil {
+		t.Error("too few vertices should fail")
+	}
+	if _, err := Convoy(ConvoyParams{Demands: []int64{1, -2, 3}, Accounting: FixedCost}); err == nil {
+		t.Error("negative demand should fail")
+	}
+	if _, err := Convoy(ConvoyParams{Demands: []int64{1, 2, 3}, Accounting: FixedCost, A1: -1}); err == nil {
+		t.Error("negative a1 should fail")
+	}
+	if _, err := Convoy(ConvoyParams{Demands: []int64{1, 2, 3}, Accounting: VariableCost, A2: 0.7}); err == nil {
+		t.Error("a2 >= 0.5 should fail")
+	}
+	if _, err := Convoy(ConvoyParams{Demands: []int64{1, 2, 3}, Accounting: Accounting(9)}); err == nil {
+		t.Error("unknown accounting should fail")
+	}
+}
+
+func TestConvoyFixedCostMatchesThesisFormula(t *testing.T) {
+	n := 50
+	demands := make([]int64, n)
+	for i := range demands {
+		demands[i] = int64(3 + i%5)
+	}
+	var sumD int64
+	for _, d := range demands {
+		sumD += d
+	}
+	res, err := Convoy(ConvoyParams{Demands: demands, Accounting: FixedCost, A1: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nf := float64(n)
+	wantW := (2*(2*nf-3) + (2*nf - 2) + float64(sumD)) / nf
+	if math.Abs(res.W-wantW) > 1e-9 {
+		t.Errorf("W = %v, thesis formula %v", res.W, wantW)
+	}
+	if res.Transfers != 2*n-3 {
+		t.Errorf("transfers %d, thesis says %d", res.Transfers, 2*n-3)
+	}
+	if res.Distance != 2*n-2 {
+		t.Errorf("distance %d, thesis says %d", res.Distance, 2*n-2)
+	}
+	// Fixed-cost accounting is exact: the simulation should end with ~zero
+	// slack (every joule of N*W accounted for).
+	if math.Abs(res.Slack) > 1e-6 {
+		t.Errorf("slack %v, want ~0 for the exact fixed-cost formula", res.Slack)
+	}
+}
+
+func TestConvoyVariableCostFeasibleWithSlack(t *testing.T) {
+	n := 40
+	demands := make([]int64, n)
+	for i := range demands {
+		demands[i] = 5
+	}
+	res, err := Convoy(ConvoyParams{Demands: demands, Accounting: VariableCost, A2: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The thesis charges every transfer as if it moved W units; actual
+	// distribution transfers move only d(x) <= W, so the formula's W is
+	// feasible with nonnegative slack.
+	if res.Slack < -1e-6 {
+		t.Errorf("variable-cost convoy infeasible: slack %v", res.Slack)
+	}
+	if res.Transfers != 2*n-3 || res.Distance != 2*n-2 {
+		t.Errorf("transfers=%d distance=%d", res.Transfers, res.Distance)
+	}
+}
+
+// TestConvoyIsThetaAvgDemand is the Section 5.2.1 headline: with C =
+// infinity the required initial charge is Theta(avg demand) — it converges
+// to the thesis' exact limits as N grows: 2*a1 + 2 + avg for fixed-cost
+// accounting and (2 + avg)/(1 - 2*a2) for variable-cost.
+func TestConvoyIsThetaAvgDemand(t *testing.T) {
+	const (
+		avg = int64(20)
+		a1  = 1.0
+		a2  = 0.01
+	)
+	limits := map[Accounting]float64{
+		FixedCost:    2*a1 + 2 + float64(avg),
+		VariableCost: (2 + float64(avg)) / (1 - 2*a2),
+	}
+	for _, acct := range []Accounting{FixedCost, VariableCost} {
+		prevGap := math.Inf(1)
+		for _, n := range []int{10, 100, 1000} {
+			demands := make([]int64, n)
+			for i := range demands {
+				demands[i] = avg
+			}
+			res, err := Convoy(ConvoyParams{
+				Demands: demands, Accounting: acct, A1: a1, A2: a2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Theta(avg): within a small constant factor of avg throughout.
+			if res.W < float64(avg) || res.W > 3*float64(avg) {
+				t.Errorf("%v n=%d: W=%v not Theta(avg=%d)", acct, n, res.W, avg)
+			}
+			gap := math.Abs(res.W - limits[acct])
+			if gap >= prevGap {
+				t.Errorf("%v n=%d: |W-limit| = %v did not shrink (prev %v)",
+					acct, n, gap, prevGap)
+			}
+			prevGap = gap
+		}
+		if prevGap > 0.2 {
+			t.Errorf("%v: W=%v does not converge to the thesis limit %v",
+				acct, prevGap+limits[acct], limits[acct])
+		}
+	}
+}
+
+func TestConvoyCarrierGivesToVehicleN(t *testing.T) {
+	// Vehicle N demands more than its own initial charge: the exchange must
+	// flow from the carrier to N, not fail.
+	demands := []int64{0, 0, 0, 0, 100}
+	res, err := Convoy(ConvoyParams{Demands: demands, Accounting: FixedCost, A1: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slack < -1e-6 {
+		t.Errorf("slack %v", res.Slack)
+	}
+}
+
+func TestAccountingString(t *testing.T) {
+	for _, a := range []Accounting{FixedCost, VariableCost, Accounting(7)} {
+		if a.String() == "" {
+			t.Errorf("empty string for %d", int(a))
+		}
+	}
+}

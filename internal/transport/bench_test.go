@@ -1,0 +1,32 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+func BenchmarkEMD(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	box, err := grid.NewBox(2, grid.P(0, 0), grid.P(15, 15))
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, err := demand.Uniform(rng, box, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := demand.Uniform(rng, box, 200)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := EMD(x, y); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package transport
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// TestQuickEMDTriangleInequality property-checks the metric axiom that
+// makes the Earthmover Distance a distance: EMD(a,c) <= EMD(a,b) + EMD(b,c)
+// over random equal-mass distributions.
+func TestQuickEMDTriangleInequality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		box, err := grid.NewBox(2, grid.P(0, 0), grid.P(4, 4))
+		if err != nil {
+			return false
+		}
+		const mass = 8
+		mk := func() *demand.Map {
+			m, err := demand.Uniform(rng, box, mass)
+			if err != nil {
+				return nil
+			}
+			return m
+		}
+		a, b, c := mk(), mk(), mk()
+		if a == nil || b == nil || c == nil {
+			return false
+		}
+		ab, err := EMD(a, b)
+		if err != nil {
+			return false
+		}
+		bc, err := EMD(b, c)
+		if err != nil {
+			return false
+		}
+		ac, err := EMD(a, c)
+		if err != nil {
+			return false
+		}
+		return ac <= ab+bc+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSolveNeverOverspendsSupply property-checks flow conservation at
+// the supply side: no plan ships more from a point than it holds.
+func TestQuickSolveNeverOverspendsSupply(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sup := demand.NewMap(2)
+		dem := demand.NewMap(2)
+		var supTotal int64
+		for i := 0; i < 4; i++ {
+			q := rng.Int63n(6) + 1
+			supTotal += q
+			if err := sup.Add(grid.P(rng.Intn(5), rng.Intn(5)), q); err != nil {
+				return false
+			}
+		}
+		remaining := supTotal
+		for i := 0; i < 3 && remaining > 0; i++ {
+			q := rng.Int63n(remaining) + 1
+			remaining -= q
+			if err := dem.Add(grid.P(rng.Intn(5), rng.Intn(5)), q); err != nil {
+				return false
+			}
+		}
+		sol, err := Solve(Instance{Supply: sup, Demand: dem})
+		if err != nil {
+			return false
+		}
+		shipped := make(map[grid.Point]float64)
+		for _, p := range sol.Plans {
+			shipped[p.From] += p.Amount
+			if p.Amount <= 0 {
+				return false
+			}
+		}
+		for p, s := range shipped {
+			if s > float64(sup.At(p))+1e-6 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

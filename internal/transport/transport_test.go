@@ -1,0 +1,174 @@
+package transport
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+	"repro/internal/lpchar"
+)
+
+func mkMap(t *testing.T, dim int, entries map[grid.Point]int64) *demand.Map {
+	t.Helper()
+	m := demand.NewMap(dim)
+	for p, v := range entries {
+		if err := m.Add(p, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return m
+}
+
+func TestSolveValidation(t *testing.T) {
+	if _, err := Solve(Instance{}); err == nil {
+		t.Error("nil maps should fail")
+	}
+	a := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 1})
+	b := mkMap(t, 1, map[grid.Point]int64{grid.P(0): 1})
+	if _, err := Solve(Instance{Supply: a, Demand: b}); err == nil {
+		t.Error("dimension mismatch should fail")
+	}
+	small := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 1})
+	big := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 5})
+	if _, err := Solve(Instance{Supply: small, Demand: big}); err == nil {
+		t.Error("insufficient supply should fail")
+	}
+}
+
+func TestSolveTrivial(t *testing.T) {
+	sup := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 5})
+	sol, err := Solve(Instance{Supply: sup, Demand: demand.NewMap(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 0 || sol.Shipped != 0 {
+		t.Fatalf("empty demand: %+v", sol)
+	}
+}
+
+func TestSolveKnownOptimal(t *testing.T) {
+	// Supply 3 at origin and 2 at (4,0); demand 2 at (1,0) and 3 at (3,0).
+	// Optimal: origin->(1,0) x2 (cost 2), (4,0)->(3,0) x2 (cost 2),
+	// origin->(3,0) x1 (cost 3): total 7.
+	sup := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 3, grid.P(4, 0): 2})
+	dem := mkMap(t, 2, map[grid.Point]int64{grid.P(1, 0): 2, grid.P(3, 0): 3})
+	sol, err := Solve(Instance{Supply: sup, Demand: dem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(sol.Cost-7) > 1e-9 || math.Abs(sol.Shipped-5) > 1e-9 {
+		t.Fatalf("cost %v shipped %v, want 7 / 5", sol.Cost, sol.Shipped)
+	}
+	var delivered float64
+	for _, p := range sol.Plans {
+		delivered += p.Amount
+	}
+	if math.Abs(delivered-5) > 1e-9 {
+		t.Errorf("plans deliver %v", delivered)
+	}
+}
+
+func TestEMDProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	box, err := grid.NewBox(2, grid.P(0, 0), grid.P(5, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 15; trial++ {
+		a, err := demand.Uniform(rng, box, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := demand.Uniform(rng, box, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ab, err := EMD(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ba, err := EMD(b, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Metric properties: symmetry, identity, nonnegativity.
+		if math.Abs(ab-ba) > 1e-6 {
+			t.Fatalf("EMD not symmetric: %v vs %v", ab, ba)
+		}
+		if ab < 0 {
+			t.Fatalf("EMD negative: %v", ab)
+		}
+		self, err := EMD(a, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if self > 1e-9 {
+			t.Fatalf("EMD(a,a) = %v", self)
+		}
+	}
+	one := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 1})
+	two := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 2})
+	if _, err := EMD(one, two); err == nil {
+		t.Error("unequal masses should fail")
+	}
+}
+
+func TestEMDTranslationCost(t *testing.T) {
+	// Shifting a unit mass by (dx,dy) costs exactly |dx|+|dy| per unit.
+	a := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 7})
+	b := mkMap(t, 2, map[grid.Point]int64{grid.P(3, 4): 7})
+	got, err := EMD(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-49) > 1e-9 {
+		t.Errorf("EMD = %v, want 7*7 = 49", got)
+	}
+}
+
+// TestSupplyGapVsLP21 demonstrates executably the distinction Section 2.2
+// draws: the classical transportation problem takes the per-vehicle supply
+// as *input* (cost can be probed at any level), while LP (2.1) finds the
+// minimal level. At the LP's optimal omega the transportation instance is
+// exactly feasible; below it, infeasible.
+func TestSupplyGapVsLP21(t *testing.T) {
+	m := mkMap(t, 2, map[grid.Point]int64{grid.P(0, 0): 9, grid.P(2, 0): 3})
+	r := 1
+	omega, err := lpchar.FlowValue(m, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ceil(omega) per vehicle must be enough for radius-r coverage... but
+	// note the transportation solver has no radius cap, so use supply only
+	// from N_r and check pooled totals match the LP's feasibility notion.
+	per := int64(math.Ceil(omega))
+	sol, err := UniformSupplyCost(m, r, per)
+	if err != nil {
+		t.Fatalf("at ceil(omega)=%d: %v", per, err)
+	}
+	if sol.Shipped != float64(m.Total()) {
+		t.Errorf("shipped %v of %d", sol.Shipped, m.Total())
+	}
+	// Starve the pool: with far less than omega per vehicle the pooled
+	// supply in the neighborhood cannot cover the demand.
+	if _, err := UniformSupplyCost(m, r, 1); err == nil && omega > 2 {
+		t.Error("supply of 1 per vehicle should be infeasible for this instance")
+	}
+	if _, err := UniformSupplyCost(m, r, 0); err == nil {
+		t.Error("zero per-vehicle supply must fail")
+	}
+}
+
+func TestUniformSupplyCostRadiusZero(t *testing.T) {
+	// Radius 0: every demand point serves itself; cost must be 0.
+	m := mkMap(t, 2, map[grid.Point]int64{grid.P(1, 1): 4, grid.P(3, 3): 2})
+	sol, err := UniformSupplyCost(m, 0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Cost != 0 {
+		t.Errorf("radius-0 cost %v, want 0", sol.Cost)
+	}
+}
