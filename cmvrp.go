@@ -167,8 +167,17 @@ func RunOnline(seq *Sequence, opts OnlineOptions) (*OnlineResult, error) {
 }
 
 // MeasureWon finds the smallest capacity (within relative tol) at which the
-// online strategy serves the whole sequence — the empirical Won.
+// online strategy serves the whole sequence — the empirical Won. The
+// feasibility probes are independent fixed-seed runs; set
+// opts.SearchWorkers >= 2 to race that many concurrently
+// (online.MinCapacityParallel). The default is the serial bisection, whose
+// answer depends only on the inputs — never on the host's core count.
+// The parallel path ignores opts.Tracer: probes run concurrently and a
+// shared tracer would race.
 func MeasureWon(seq *Sequence, opts OnlineOptions, tol float64) (float64, error) {
+	if opts.SearchWorkers > 1 {
+		return online.MinCapacityParallel(seq, opts, 1, tol)
+	}
 	return online.MinCapacity(seq, opts, 1, tol)
 }
 

@@ -134,11 +134,4 @@ func (m *Map) Values(g *grid.Grid) ([]int64, error) {
 	return vals, nil
 }
 
-func lessPoint(a, b grid.Point) bool {
-	for i := range a {
-		if a[i] != b[i] {
-			return a[i] < b[i]
-		}
-	}
-	return false
-}
+func lessPoint(a, b grid.Point) bool { return a.Less(b) }

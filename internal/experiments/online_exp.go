@@ -12,6 +12,9 @@ import (
 	"repro/internal/online"
 )
 
+// e7SearchWorkers is the pinned concurrency of E7's capacity searches.
+const e7SearchWorkers = 4
+
 // E7Online measures the empirical Won (smallest capacity at which the
 // Chapter 3 strategy serves everything) against omega_c and the Theorem
 // 1.4.2 guarantee (4*3^l+l)*omega_c, plus the greedy dispatcher baseline.
@@ -38,8 +41,11 @@ func E7Online(n int, jobs int64, seed int64) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		won, err := online.MinCapacity(seq, online.Options{
+		// Fixed worker count: the parallel search's answer depends on the
+		// probe grid, so pinning it keeps tables machine-independent.
+		won, err := online.MinCapacityParallel(seq, online.Options{
 			Arena: arena, CubeSide: char.Side, Seed: seed,
+			SearchWorkers: e7SearchWorkers,
 		}, 1, 0.05)
 		if err != nil {
 			return nil, err

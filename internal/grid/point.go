@@ -36,6 +36,17 @@ func P(coords ...int) Point {
 // Coord returns the i-th coordinate as an int.
 func (p Point) Coord(i int) int { return int(p[i]) }
 
+// Less orders points lexicographically by coordinate — a total order used
+// to make collections derived from map iteration deterministic.
+func (p Point) Less(q Point) bool {
+	for i := 0; i < MaxDim; i++ {
+		if p[i] != q[i] {
+			return p[i] < q[i]
+		}
+	}
+	return false
+}
+
 // Add returns p translated by q (component-wise sum).
 func (p Point) Add(q Point) Point {
 	var r Point

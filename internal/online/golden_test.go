@@ -1,0 +1,113 @@
+package online
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// The golden counters below were captured from the map-keyed simulator that
+// preceded the dense arena-indexed core, on the exact scenarios of this
+// file. The dense refactor reproduces them bit for bit: any drift in these
+// values means the delivery schedule (and hence every fixed-seed experiment
+// in EXPERIMENTS.md) has silently changed.
+
+type goldenCounters struct {
+	served         int64
+	messages       int64
+	replacements   int64
+	searches       int64
+	searchFailures int64
+	monitorRescues int64
+	maxEnergy      float64
+	failures       int
+}
+
+func checkGolden(t *testing.T, res *Result, want goldenCounters) {
+	t.Helper()
+	got := goldenCounters{
+		served:         res.Served,
+		messages:       res.Messages,
+		replacements:   res.Replacements,
+		searches:       res.Searches,
+		searchFailures: res.SearchFailures,
+		monitorRescues: res.MonitorRescues,
+		maxEnergy:      res.MaxEnergy,
+		failures:       len(res.Failures),
+	}
+	if got != want {
+		t.Errorf("golden counters drifted:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestGoldenTraceHotPoint locks the fixed-seed schedule of a replacement-
+// heavy run: one hot point exhausting vehicles in a single 8x8 cube.
+func TestGoldenTraceHotPoint(t *testing.T) {
+	arena := grid.MustNew(8, 8)
+	jobs := make([]grid.Point, 60)
+	for i := range jobs {
+		jobs[i] = grid.P(4, 4)
+	}
+	run := func() *Result {
+		r := mustRunner(t, Options{Arena: arena, CubeSide: 8, Capacity: 24, Seed: 1})
+		res, err := r.Run(demand.NewSequence(jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := goldenCounters{
+		served: 60, messages: 1310, replacements: 2, searches: 2,
+		maxEnergy: 23,
+	}
+	checkGolden(t, run(), want)
+	// Same seed, fresh runner: bit-for-bit identical.
+	checkGolden(t, run(), want)
+}
+
+// TestGoldenTraceFailureInjection locks the schedule of a run exercising
+// every failure-injection path at once: monitoring, fail-initiate vehicles,
+// a mid-sequence death, and Chapter 4 longevity breakdowns.
+func TestGoldenTraceFailureInjection(t *testing.T) {
+	arena := grid.MustNew(6, 6)
+	rng := rand.New(rand.NewSource(42))
+	jobs := make([]grid.Point, 80)
+	for i := range jobs {
+		jobs[i] = grid.P(rng.Intn(6), rng.Intn(6))
+	}
+	r := mustRunner(t, Options{
+		Arena: arena, CubeSide: 6, Capacity: 20, Seed: 9, Monitoring: true,
+		FailInitiate:      map[grid.Point]bool{grid.P(0, 0): true, grid.P(3, 3): true},
+		DeadBeforeArrival: map[grid.Point]int{grid.P(2, 2): 10},
+		Longevity:         map[grid.Point]float64{grid.P(5, 5): 0.5, grid.P(1, 4): 0},
+	})
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, res, goldenCounters{
+		served: 80, messages: 7616, replacements: 1, searches: 1,
+		monitorRescues: 1, maxEnergy: 11,
+	})
+}
+
+// TestGoldenMinCapacity locks the serial capacity search's answer on the
+// hot-point workload (the probes are fixed-seed runs, so the bisection path
+// is fully deterministic).
+func TestGoldenMinCapacity(t *testing.T) {
+	arena := grid.MustNew(8, 8)
+	jobs := make([]grid.Point, 60)
+	for i := range jobs {
+		jobs[i] = grid.P(4, 4)
+	}
+	seq := demand.NewSequence(jobs)
+	won, err := MinCapacity(seq, Options{Arena: arena, CubeSide: 8, Seed: 1}, 1, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if won != 7.0625 {
+		t.Errorf("serial MinCapacity = %v, want golden 7.0625", won)
+	}
+}

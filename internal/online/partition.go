@@ -36,16 +36,19 @@ func (p Pair) Covers(x grid.Point) bool {
 
 // Partition is the static geometry of the online strategy: the cube
 // decomposition, the pairing, and the intra-cube communication graph.
+// Per-cell lookups are dense slices indexed by Arena.Index — the cell's
+// arena index doubles as its vehicle's sim.NodeID, so the hot layers above
+// never hash a point.
 type Partition struct {
 	arena    *grid.Grid
 	cubeSide int
 
-	pairs  []Pair
-	pairOf map[grid.Point]int // cell -> pair index
-	cubeOf map[grid.Point]int // cell -> cube index
+	pairs   []Pair
+	pairIdx []int32 // arena index -> pair index
+	cubeIdx []int32 // arena index -> cube index
 
-	cubePairs [][]int                     // cube -> pair indices (snake order)
-	comm      map[grid.Point][]grid.Point // same-cube cells within distance 2
+	cubePairs [][]int   // cube -> pair indices (snake order)
+	commIdx   [][]int32 // arena index -> same-cube cells within distance 2
 	numCubes  int
 }
 
@@ -62,9 +65,13 @@ func NewPartition(arena *grid.Grid, cubeSide int) (*Partition, error) {
 	p := &Partition{
 		arena:    arena,
 		cubeSide: cubeSide,
-		pairOf:   make(map[grid.Point]int),
-		cubeOf:   make(map[grid.Point]int),
-		comm:     make(map[grid.Point][]grid.Point),
+		pairIdx:  make([]int32, arena.Len()),
+		cubeIdx:  make([]int32, arena.Len()),
+		commIdx:  make([][]int32, arena.Len()),
+	}
+	for i := range p.pairIdx {
+		p.pairIdx[i] = -1
+		p.cubeIdx[i] = -1
 	}
 	var corner [grid.MaxDim]int
 	if err := p.walkCubes(corner, 0); err != nil {
@@ -118,18 +125,20 @@ func (p *Partition) walkCubes(corner [grid.MaxDim]int, axis int) error {
 		idx := len(p.pairs)
 		p.pairs = append(p.pairs, pr)
 		pairIdxs = append(pairIdxs, idx)
-		p.pairOf[pr.Cells[0]] = idx
+		p.pairIdx[p.arena.Index(pr.Cells[0])] = int32(idx)
 		if !pr.Single {
-			p.pairOf[pr.Cells[1]] = idx
+			p.pairIdx[p.arena.Index(pr.Cells[1])] = int32(idx)
 		}
 	}
 	p.cubePairs = append(p.cubePairs, pairIdxs)
-	// Communication graph: same-cube cells within L1 distance 2.
+	// Communication graph: same-cube cells within L1 distance 2, in snake
+	// order (the order is part of the deterministic message schedule).
 	for _, a := range cells {
-		p.cubeOf[a] = cubeIdx
+		ai := p.arena.Index(a)
+		p.cubeIdx[ai] = int32(cubeIdx)
 		for _, b := range cells {
 			if a != b && grid.Manhattan(a, b) <= 2 {
-				p.comm[a] = append(p.comm[a], b)
+				p.commIdx[ai] = append(p.commIdx[ai], int32(p.arena.Index(b)))
 			}
 		}
 	}
@@ -182,14 +191,25 @@ func (p *Partition) Pairs() []Pair { return p.pairs }
 
 // PairOf returns the pair index covering cell x.
 func (p *Partition) PairOf(x grid.Point) (int, bool) {
-	i, ok := p.pairOf[x]
-	return i, ok
+	if !p.arena.Contains(x) {
+		return 0, false
+	}
+	i := p.pairIdx[p.arena.Index(x)]
+	return int(i), i >= 0
 }
+
+// PairAt returns the pair index covering the cell with the given arena
+// index — the dense fast path of PairOf for callers already holding the
+// index (which is also the cell's sim.NodeID).
+func (p *Partition) PairAt(idx int64) int { return int(p.pairIdx[idx]) }
 
 // CubeOf returns the cube index of cell x.
 func (p *Partition) CubeOf(x grid.Point) (int, bool) {
-	i, ok := p.cubeOf[x]
-	return i, ok
+	if !p.arena.Contains(x) {
+		return 0, false
+	}
+	i := p.cubeIdx[p.arena.Index(x)]
+	return int(i), i >= 0
 }
 
 // CubePairs returns the pair indices of one cube in snake order.
@@ -198,8 +218,27 @@ func (p *Partition) CubePairs(cube int) []int { return p.cubePairs[cube] }
 // NumCubes returns the number of cubes in the partition.
 func (p *Partition) NumCubes() int { return p.numCubes }
 
-// CommNeighbors returns the same-cube communication neighbors of cell x.
-func (p *Partition) CommNeighbors(x grid.Point) []grid.Point { return p.comm[x] }
+// CommNeighbors returns the same-cube communication neighbors of cell x as
+// points (diagnostic boundary; the runner uses CommNeighborIndices).
+func (p *Partition) CommNeighbors(x grid.Point) []grid.Point {
+	if !p.arena.Contains(x) {
+		return nil
+	}
+	idxs := p.commIdx[p.arena.Index(x)]
+	if len(idxs) == 0 {
+		return nil
+	}
+	out := make([]grid.Point, len(idxs))
+	for i, idx := range idxs {
+		out[i] = p.arena.PointAt(int64(idx))
+	}
+	return out
+}
+
+// CommNeighborIndices returns the same-cube communication neighbors of the
+// cell with the given arena index, as arena indices (shared slice; callers
+// must not mutate).
+func (p *Partition) CommNeighborIndices(idx int64) []int32 { return p.commIdx[idx] }
 
 // WatcherPair returns the pair that monitors pair `id` in the Section 3.2.5
 // monitoring ring: pairs of a cube watch each other cyclically, so every

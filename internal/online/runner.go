@@ -3,7 +3,7 @@ package online
 import (
 	"errors"
 	"fmt"
-	"math"
+	"sort"
 
 	"repro/internal/demand"
 	"repro/internal/diffuse"
@@ -39,6 +39,15 @@ type Options struct {
 	Monitoring bool
 	// MaxSteps bounds message deliveries per quiescence run (0 = default).
 	MaxSteps int64
+	// SearchWorkers sets the number of concurrent feasibility probes used
+	// by capacity searches (MinCapacityParallel / cmvrp.MeasureWon): each
+	// probe is an independent fixed-seed run, so values >= 2 race them on
+	// a worker pool. The search's answer depends on the probe grid and
+	// hence on this count, so MeasureWon treats anything <= 1 as the
+	// serial bisection — reproducible regardless of host core count —
+	// while MinCapacityParallel maps <= 0 to runtime.NumCPU(). A single
+	// Run ignores this field.
+	SearchWorkers int
 	// Tracer, when set, receives structured simulation events (serves,
 	// exhaustions, searches, moves, rescues, failures).
 	Tracer Tracer
@@ -76,16 +85,30 @@ type Result struct {
 // OK reports whether every job was served.
 func (r *Result) OK() bool { return len(r.Failures) == 0 }
 
+// deadEvent is one densified DeadBeforeArrival entry: kill the vehicle with
+// node id (= arena index) right before arrival `at` is processed. id < 0
+// marks a cell outside the arena — surfaced as an error when it fires, to
+// match the lazy validation of the map-keyed original.
+type deadEvent struct {
+	at   int
+	id   sim.NodeID
+	home grid.Point
+}
+
 // Runner executes one online simulation.
 type Runner struct {
 	opts Options
 	part *Partition
 	net  *sim.Network
 
-	vehicles   map[sim.NodeID]*vehicle
+	vehicles   []*vehicle   // dense, indexed by arena index (= sim.NodeID)
 	pairActive []sim.NodeID // pair -> node currently responsible
 	// pendingReplace guards against duplicate concurrent searches per pair.
 	pendingReplace []bool
+	// deadEvents is Options.DeadBeforeArrival densified and sorted by
+	// arrival index; nextDead is the cursor into it.
+	deadEvents []deadEvent
+	nextDead   int
 
 	served         int64
 	failures       []Failure
@@ -135,15 +158,19 @@ func NewRunner(opts Options) (*Runner, error) {
 		opts:           opts,
 		part:           part,
 		net:            sim.NewNetwork(opts.Seed),
-		vehicles:       make(map[sim.NodeID]*vehicle),
+		vehicles:       make([]*vehicle, opts.Arena.Len()),
 		pairActive:     make([]sim.NodeID, len(part.Pairs())),
 		pendingReplace: make([]bool, len(part.Pairs())),
 	}
+	// Densify the failure-injection maps once at the public boundary; the
+	// simulation itself never hashes a point again.
+	r.deadEvents = densifyDeadEvents(opts.Arena, opts.DeadBeforeArrival)
 	for _, cell := range opts.Arena.Bounds().Points() {
 		cell := cell
-		id := sim.NodeID(opts.Arena.Index(cell))
-		pairID, ok := part.PairOf(cell)
-		if !ok {
+		idx := opts.Arena.Index(cell)
+		id := sim.NodeID(idx)
+		pairID := part.PairAt(idx)
+		if pairID < 0 {
 			return nil, fmt.Errorf("online: cell %v not covered by partition", cell)
 		}
 		longevity := 1.0
@@ -152,6 +179,13 @@ func NewRunner(opts Options) (*Runner, error) {
 				return nil, fmt.Errorf("online: longevity %v at %v outside [0,1]", p, cell)
 			}
 			longevity = p
+		}
+		// Resolve the communication neighborhood to node ids once; the
+		// diffusion engine floods this exact slice on every Phase I search.
+		nidx := part.CommNeighborIndices(idx)
+		neighbors := make([]sim.NodeID, len(nidx))
+		for i, ni := range nidx {
+			neighbors[i] = sim.NodeID(ni)
 		}
 		v := &vehicle{
 			r:            r,
@@ -162,19 +196,13 @@ func NewRunner(opts Options) (*Runner, error) {
 			state:        Idle,
 			failInitiate: opts.FailInitiate[cell],
 			longevity:    longevity,
+			neighbors:    neighbors,
 		}
 		if longevity == 0 {
 			v.state = Dead // broken from the start (p_i = 0)
 		}
 		eng, err := diffuse.New(diffuse.Config{
-			Neighbors: func() []sim.NodeID {
-				cells := part.CommNeighbors(v.home)
-				ids := make([]sim.NodeID, len(cells))
-				for i, c := range cells {
-					ids[i] = sim.NodeID(opts.Arena.Index(c))
-				}
-				return ids
-			},
+			Neighbors: func() []sim.NodeID { return v.neighbors },
 			IsCandidate: func() bool {
 				return v.state == Idle && v.untilBreak() >= serveCost
 			},
@@ -216,6 +244,34 @@ func NewRunner(opts Options) (*Runner, error) {
 	return r, nil
 }
 
+// densifyDeadEvents converts the public DeadBeforeArrival map into a slice
+// of events sorted by arrival index (ties broken by cell, so runs stay
+// reproducible regardless of map iteration order). Negative arrival indices
+// can never fire and are dropped, matching the original scan.
+func densifyDeadEvents(arena *grid.Grid, dead map[grid.Point]int) []deadEvent {
+	if len(dead) == 0 {
+		return nil
+	}
+	events := make([]deadEvent, 0, len(dead))
+	for home, at := range dead {
+		if at < 0 {
+			continue
+		}
+		id := sim.NodeID(-1)
+		if arena.Contains(home) {
+			id = sim.NodeID(arena.Index(home))
+		}
+		events = append(events, deadEvent{at: at, id: id, home: home})
+	}
+	sort.Slice(events, func(i, j int) bool {
+		if events[i].at != events[j].at {
+			return events[i].at < events[j].at
+		}
+		return events[i].home.Less(events[j].home)
+	})
+	return events
+}
+
 // Partition exposes the geometry (for tests and diagnostics).
 func (r *Runner) Partition() *Partition { return r.part }
 
@@ -227,15 +283,15 @@ func (r *Runner) Run(seq *demand.Sequence) (*Result, error) {
 	for i := 0; i < seq.Len(); i++ {
 		r.currentArrival = i
 		pos := seq.At(i)
-		for home, at := range r.opts.DeadBeforeArrival {
-			if at == i {
-				id := sim.NodeID(r.opts.Arena.Index(home))
-				v, ok := r.vehicles[id]
-				if !ok {
-					return nil, fmt.Errorf("online: DeadBeforeArrival cell %v not in arena", home)
-				}
-				v.state = Dead
+		// Arrivals are visited in order and the cursor drains every event
+		// with at == i, so the front event's at is always >= i here.
+		for r.nextDead < len(r.deadEvents) && r.deadEvents[r.nextDead].at == i {
+			ev := r.deadEvents[r.nextDead]
+			r.nextDead++
+			if ev.id < 0 {
+				return nil, fmt.Errorf("online: DeadBeforeArrival cell %v not in arena", ev.home)
 			}
+			r.vehicles[ev.id].state = Dead
 		}
 		pairID, ok := r.part.PairOf(pos)
 		if !ok {
@@ -288,56 +344,5 @@ func (r *Runner) monitorRound() error {
 	return r.quiesce()
 }
 
-// MinCapacity measures the empirical Won for a sequence: the smallest
-// capacity (within tol, relative) for which the strategy serves every job.
-// The bracket grows exponentially from lo until a run succeeds.
-func MinCapacity(seq *demand.Sequence, base Options, lo float64, tol float64) (float64, error) {
-	if lo < serveCost {
-		lo = serveCost
-	}
-	run := func(w float64) (bool, error) {
-		opts := base
-		opts.Capacity = w
-		r, err := NewRunner(opts)
-		if err != nil {
-			return false, err
-		}
-		res, err := r.Run(seq)
-		if err != nil {
-			return false, err
-		}
-		return res.OK() && res.SearchFailures == 0, nil
-	}
-	hi := lo
-	for {
-		ok, err := run(hi)
-		if err != nil {
-			return 0, err
-		}
-		if ok {
-			break
-		}
-		hi *= 2
-		if hi > 1e12 {
-			return 0, errors.New("online: no feasible capacity below 1e12")
-		}
-	}
-	if okLo, err := run(lo); err != nil {
-		return 0, err
-	} else if okLo {
-		return lo, nil
-	}
-	for hi-lo > tol*math.Max(1, hi) {
-		mid := (lo + hi) / 2
-		ok, err := run(mid)
-		if err != nil {
-			return 0, err
-		}
-		if ok {
-			hi = mid
-		} else {
-			lo = mid
-		}
-	}
-	return hi, nil
-}
+// MinCapacity and MinCapacityParallel (the capacity-search layer) live in
+// search.go.

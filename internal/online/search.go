@@ -1,0 +1,186 @@
+package online
+
+import (
+	"errors"
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/demand"
+)
+
+// maxSearchCapacity bounds the exponential bracket; beyond it the instance
+// is declared infeasible.
+const maxSearchCapacity = 1e12
+
+// capacityProbe returns the feasibility oracle shared by the serial and
+// parallel capacity searches: does the strategy serve the whole sequence at
+// capacity w with no failed replacement searches? Each invocation builds an
+// independent Runner, so concurrent probes share no mutable state.
+func capacityProbe(seq *demand.Sequence, base Options) func(w float64) (bool, error) {
+	return func(w float64) (bool, error) {
+		opts := base
+		opts.Capacity = w
+		r, err := NewRunner(opts)
+		if err != nil {
+			return false, err
+		}
+		res, err := r.Run(seq)
+		if err != nil {
+			return false, err
+		}
+		return res.OK() && res.SearchFailures == 0, nil
+	}
+}
+
+// MinCapacity measures the empirical Won for a sequence: the smallest
+// capacity (within tol, relative) for which the strategy serves every job.
+// The bracket grows exponentially from lo until a run succeeds.
+func MinCapacity(seq *demand.Sequence, base Options, lo float64, tol float64) (float64, error) {
+	if lo < serveCost {
+		lo = serveCost
+	}
+	run := capacityProbe(seq, base)
+	hi := lo
+	for {
+		ok, err := run(hi)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			break
+		}
+		hi *= 2
+		if hi > maxSearchCapacity {
+			return 0, errors.New("online: no feasible capacity below 1e12")
+		}
+	}
+	if okLo, err := run(lo); err != nil {
+		return 0, err
+	} else if okLo {
+		return lo, nil
+	}
+	for hi-lo > tol*math.Max(1, hi) {
+		mid := (lo + hi) / 2
+		ok, err := run(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// MinCapacityParallel is MinCapacity with the independent probes raced
+// across a pool of base.SearchWorkers goroutines, each running its own
+// Runner and Network. Both phases are batched: the exponential bracket
+// evaluates `workers` doublings at once, and the bisection replaces the
+// midpoint probe with `workers` evenly spaced interior points, narrowing
+// the bracket by a factor of workers+1 per round. The result is
+// deterministic for a given worker count (batch results are gathered
+// before any decision), though it may differ from the serial search by up
+// to the tolerance, since both simply return a feasible point within tol
+// of the infeasible boundary — pin SearchWorkers for machine-independent
+// answers. SearchWorkers == 1 falls back to the serial search;
+// SearchWorkers <= 0 uses runtime.NumCPU(). base.Tracer is ignored: probes
+// run concurrently and a shared tracer would race.
+func MinCapacityParallel(seq *demand.Sequence, base Options, lo, tol float64) (float64, error) {
+	workers := base.SearchWorkers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		return MinCapacity(seq, base, lo, tol)
+	}
+	base.Tracer = nil
+	if lo < serveCost {
+		lo = serveCost
+	}
+	probe := capacityProbe(seq, base)
+
+	// probeBatch evaluates candidate capacities concurrently (both phases
+	// build batches of at most `workers` entries). Errors are resolved in
+	// candidate order so the returned error is deterministic.
+	probeBatch := func(ws []float64) ([]bool, error) {
+		oks := make([]bool, len(ws))
+		errs := make([]error, len(ws))
+		var wg sync.WaitGroup
+		for i := range ws {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				oks[i], errs[i] = probe(ws[i])
+			}(i)
+		}
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return oks, nil
+	}
+
+	// Phase 1 — exponential bracket, `workers` doublings per batch:
+	// find the smallest k with lo*2^k feasible.
+	feasibleK := -1
+	w := lo
+	for k := 0; feasibleK < 0; {
+		var batch []float64
+		for len(batch) < workers && w <= maxSearchCapacity {
+			batch = append(batch, w)
+			w *= 2
+		}
+		if len(batch) == 0 {
+			return 0, errors.New("online: no feasible capacity below 1e12")
+		}
+		oks, err := probeBatch(batch)
+		if err != nil {
+			return 0, err
+		}
+		for j, ok := range oks {
+			if ok {
+				feasibleK = k + j
+				break
+			}
+		}
+		k += len(batch)
+	}
+	if feasibleK == 0 {
+		return lo, nil
+	}
+	curLo := lo * math.Pow(2, float64(feasibleK-1))
+	curHi := lo * math.Pow(2, float64(feasibleK))
+
+	// Phase 2 — parallel bisection: `workers` interior points per round.
+	for curHi-curLo > tol*math.Max(1, curHi) {
+		ws := make([]float64, workers)
+		for j := range ws {
+			ws[j] = curLo + (curHi-curLo)*float64(j+1)/float64(workers+1)
+		}
+		oks, err := probeBatch(ws)
+		if err != nil {
+			return 0, err
+		}
+		first := -1
+		for j, ok := range oks {
+			if ok {
+				first = j
+				break
+			}
+		}
+		switch {
+		case first < 0:
+			curLo = ws[len(ws)-1]
+		case first == 0:
+			curHi = ws[0]
+		default:
+			curLo, curHi = ws[first-1], ws[first]
+		}
+	}
+	return curHi, nil
+}

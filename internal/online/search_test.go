@@ -1,0 +1,83 @@
+package online
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+func hotPointSeq(n int) (*grid.Grid, *demand.Sequence) {
+	arena := grid.MustNew(8, 8)
+	jobs := make([]grid.Point, n)
+	for i := range jobs {
+		jobs[i] = grid.P(4, 4)
+	}
+	return arena, demand.NewSequence(jobs)
+}
+
+// TestMinCapacityParallelMatchesSerial checks that the parallel search lands
+// within tolerance of the serial answer, across worker counts (including the
+// fallback paths), and is deterministic for a fixed worker count. Run with
+// -race this also exercises the worker pool for data races.
+func TestMinCapacityParallelMatchesSerial(t *testing.T) {
+	arena, seq := hotPointSeq(60)
+	base := Options{Arena: arena, CubeSide: 8, Seed: 1}
+	const tol = 0.05
+	serial, err := MinCapacity(seq, base, 1, tol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 7} {
+		opts := base
+		opts.SearchWorkers = workers
+		got, err := MinCapacityParallel(seq, opts, 1, tol)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		// Both answers are feasible points within relative tol of the
+		// infeasibility boundary, so they agree up to 2*tol.
+		if math.Abs(got-serial) > 2*tol*math.Max(1, serial) {
+			t.Errorf("workers=%d: parallel Won %v vs serial %v", workers, got, serial)
+		}
+		again, err := MinCapacityParallel(seq, opts, 1, tol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != again {
+			t.Errorf("workers=%d: nondeterministic answer %v vs %v", workers, got, again)
+		}
+	}
+}
+
+// TestMinCapacityParallelLoFeasible covers the bracket's k=0 short-circuit:
+// when the starting capacity already serves everything, lo itself comes
+// back, as in the serial search.
+func TestMinCapacityParallelLoFeasible(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	seq := demand.NewSequence([]grid.Point{grid.P(0, 0), grid.P(3, 3)})
+	base := Options{Arena: arena, CubeSide: 2, Seed: 3, SearchWorkers: 4}
+	got, err := MinCapacityParallel(seq, base, 50, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 50 {
+		t.Errorf("feasible lo should come back unchanged, got %v", got)
+	}
+}
+
+// TestMinCapacityParallelInfeasible checks the 1e12 cap error path with a
+// demand no capacity can serve: the only vehicle on a 1-cell arena is dead
+// before the first arrival and monitoring is off, so every probe fails.
+func TestMinCapacityParallelInfeasible(t *testing.T) {
+	arena := grid.MustNew(1, 1)
+	jobs := []grid.Point{grid.P(0)}
+	_, err := MinCapacityParallel(demand.NewSequence(jobs), Options{
+		Arena: arena, CubeSide: 1, Seed: 1, SearchWorkers: 4,
+		DeadBeforeArrival: map[grid.Point]int{grid.P(0): 0},
+	}, 1, 0.05)
+	if err == nil {
+		t.Fatal("a permanently dead fleet must report infeasibility")
+	}
+}

@@ -74,6 +74,10 @@ type vehicle struct {
 	pairID int // pair currently served (valid when Active) or home pair
 
 	eng *diffuse.Engine
+	// neighbors is the communication neighborhood resolved to node ids once
+	// at construction (cell arena index = node id); the diffusion engine
+	// reads it on every flood without re-deriving cell identity.
+	neighbors []sim.NodeID
 
 	// failInitiate simulates Section 3.2.5 scenario 2: on exhaustion the
 	// vehicle silently fails to start its replacement search.

@@ -1,0 +1,140 @@
+package sim
+
+import "testing"
+
+// TestReadyListExactUnderDrainRefill is the regression test for the ready-
+// list maintenance bug class of the map-keyed simulator (stale entries after
+// a queue drained under a different ready slot): a link that repeatedly
+// drains and refills must occupy exactly one ready slot while nonempty and
+// none while empty.
+func TestReadyListExactUnderDrainRefill(t *testing.T) {
+	n := NewNetwork(17)
+	a, b := &silentProc{}, &silentProc{}
+	if err := n.Add(0, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Add(1, b); err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 10; cycle++ {
+		// Refill two links, drain them fully, repeat. Each transition
+		// empty->nonempty must add exactly one ready entry and each drain
+		// must remove exactly that entry.
+		for k := 0; k < 3; k++ {
+			n.Inject(0, cycle*10+k)
+			n.Inject(1, cycle*10+k)
+		}
+		if got := len(n.ready); got != 2 {
+			t.Fatalf("cycle %d: ready has %d entries, want 2", cycle, got)
+		}
+		if err := n.Run(1000); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(n.ready); got != 0 {
+			t.Fatalf("cycle %d: %d stale ready entries after drain", cycle, got)
+		}
+		if n.Pending() != 0 {
+			t.Fatalf("cycle %d: pending %d after drain", cycle, n.Pending())
+		}
+	}
+	if len(a.got) != 30 || len(b.got) != 30 {
+		t.Fatalf("delivered %d/%d messages, want 30/30", len(a.got), len(b.got))
+	}
+}
+
+// reEnqueuer sends one message back onto the very link being drained,
+// exercising the drain-then-refill-within-OnMessage path (the queue empties,
+// leaves the ready list, and re-enters it during the same Step).
+type reEnqueuer struct{ budget int }
+
+func (r *reEnqueuer) OnMessage(ctx *Context, from NodeID, msg Message) {
+	if r.budget > 0 {
+		r.budget--
+		ctx.Send(ctx.Self(), "again")
+	}
+}
+
+func TestDrainRefillWithinStep(t *testing.T) {
+	n := NewNetwork(3)
+	p := &reEnqueuer{budget: 25}
+	if err := n.Add(0, p); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(0, "go")
+	if err := n.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if n.Delivered() != 26 {
+		t.Fatalf("delivered %d, want 26", n.Delivered())
+	}
+	if len(n.ready) != 0 || n.Pending() != 0 {
+		t.Fatalf("ready=%d pending=%d after quiescence", len(n.ready), n.Pending())
+	}
+}
+
+// badSender fires one message to an invalid (negative) node id.
+type badSender struct{}
+
+func (badSender) OnMessage(ctx *Context, _ NodeID, _ Message) {
+	ctx.Send(-5, "lost")
+}
+
+// TestBadSendSurfacesAtStepBudget checks that a send to an invalid node id
+// can never be silently dropped: even when the step budget is exhausted
+// with an empty ready list, Run must report the bad send instead of
+// declaring quiescence.
+func TestBadSendSurfacesAtStepBudget(t *testing.T) {
+	n := NewNetwork(1)
+	if err := n.Add(0, badSender{}); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(0, "go")
+	// Budget of exactly 1: the only delivery triggers the bad send and
+	// drains the ready list in the same step.
+	if err := n.Run(1); err == nil {
+		t.Fatal("exhausted budget with a dropped send must error, not quiesce")
+	}
+	// And with budget to spare the next Step reports it too.
+	n2 := NewNetwork(1)
+	if err := n2.Add(0, badSender{}); err != nil {
+		t.Fatal(err)
+	}
+	n2.Inject(0, "go")
+	if err := n2.Run(100); err == nil {
+		t.Fatal("bad send must surface on the following step")
+	}
+}
+
+// TestRingBufferWrap pushes enough traffic through one link to force the
+// ring buffer to wrap and grow several times while preserving FIFO order.
+func TestRingBufferWrap(t *testing.T) {
+	n := NewNetwork(8)
+	sink := &silentProc{}
+	if err := n.Add(0, sink); err != nil {
+		t.Fatal(err)
+	}
+	next := 0
+	for round := 0; round < 5; round++ {
+		// Uneven push/drain phases force head to wander through the buffer.
+		for k := 0; k < 3+round*5; k++ {
+			n.Inject(0, next)
+			next++
+		}
+		for k := 0; k < 2; k++ {
+			if _, err := n.Step(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := n.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range sink.got {
+		if got != i {
+			t.Fatalf("FIFO violated at %d: got %v", i, got)
+		}
+	}
+	if len(sink.got) != next {
+		t.Fatalf("delivered %d of %d", len(sink.got), next)
+	}
+}

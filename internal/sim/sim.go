@@ -5,6 +5,12 @@
 // sent"), and arbitrary finite delays — realized by delivering, at each
 // step, the head message of a pseudo-randomly chosen nonempty link. With a
 // fixed seed every run is bit-for-bit reproducible.
+//
+// Storage is dense: node ids are expected to be small non-negative integers
+// (the online layer uses arena cell indices directly), processes live in a
+// slice, and each node's pending traffic sits in a slice-backed mailbox of
+// per-link ring buffers — no map lookups or per-message allocations on the
+// delivery hot path.
 package sim
 
 import (
@@ -13,7 +19,8 @@ import (
 	"math/rand"
 )
 
-// NodeID identifies a process in the network.
+// NodeID identifies a process in the network. Ids must be non-negative and
+// should be compact (dense storage is sized by the largest id seen).
 type NodeID int32
 
 // None is the null node id (used for "no parent" and similar sentinels).
@@ -34,32 +41,81 @@ type Process interface {
 // step budget — usually a protocol livelock.
 var ErrStepLimit = errors.New("sim: step limit exceeded before quiescence")
 
-type link struct{ from, to NodeID }
+// linkQueue is one directed link's FIFO: a growable ring buffer of payloads
+// from a fixed sender. The sender is constant per queue, so envelopes carry
+// only the message.
+type linkQueue struct {
+	from  NodeID
+	buf   []Message // ring buffer; len is a power of two
+	head  int32
+	count int32
+}
+
+func (q *linkQueue) push(m Message) {
+	if int(q.count) == len(q.buf) {
+		grown := make([]Message, max(4, 2*len(q.buf)))
+		for i := int32(0); i < q.count; i++ {
+			grown[i] = q.buf[(q.head+i)&int32(len(q.buf)-1)]
+		}
+		q.buf = grown
+		q.head = 0
+	}
+	q.buf[(q.head+q.count)&int32(len(q.buf)-1)] = m
+	q.count++
+}
+
+func (q *linkQueue) pop() Message {
+	m := q.buf[q.head]
+	q.buf[q.head] = nil // release the payload reference
+	q.head = (q.head + 1) & int32(len(q.buf)-1)
+	q.count--
+	return m
+}
+
+// mailbox holds one destination node's incoming links. The link table is
+// append-only, so a link's slot index is stable for the network's lifetime;
+// fan-in equals the node's degree in the communication graph, so the
+// linear slot scan on send is over a handful of entries.
+type mailbox struct {
+	links []linkQueue
+}
+
+func (mb *mailbox) slot(from NodeID) int32 {
+	for i := range mb.links {
+		if mb.links[i].from == from {
+			return int32(i)
+		}
+	}
+	mb.links = append(mb.links, linkQueue{from: from})
+	return int32(len(mb.links) - 1)
+}
+
+// readyRef addresses one nonempty link: destination node and slot in its
+// mailbox's link table.
+type readyRef struct {
+	to   NodeID
+	slot int32
+}
 
 // Network owns the processes and undelivered messages. It is single
 // threaded: determinism comes free and the package is safe exactly when a
 // Network is confined to one goroutine.
 type Network struct {
 	rng       *rand.Rand
-	procs     map[NodeID]Process
-	queues    map[link][]envelope
-	ready     []link // links with pending messages
+	procs     []Process  // dense, indexed by NodeID
+	boxes     []mailbox  // dense, indexed by destination NodeID
+	ready     []readyRef // exact set of nonempty links
 	delivered int64
 	sent      int64
-}
-
-type envelope struct {
-	from NodeID
-	msg  Message
+	// badSend records the first send to a negative node id; surfaced as an
+	// error on the next Step (matching the map-era "unknown node" behavior
+	// of erroring at delivery time, not send time).
+	badSend error
 }
 
 // NewNetwork creates an empty network with the given determinism seed.
 func NewNetwork(seed int64) *Network {
-	return &Network{
-		rng:    rand.New(rand.NewSource(seed)),
-		procs:  make(map[NodeID]Process),
-		queues: make(map[link][]envelope),
-	}
+	return &Network{rng: rand.New(rand.NewSource(seed))}
 }
 
 // Add registers a process under id.
@@ -67,7 +123,13 @@ func (n *Network) Add(id NodeID, p Process) error {
 	if p == nil {
 		return fmt.Errorf("sim: nil process for node %d", id)
 	}
-	if _, dup := n.procs[id]; dup {
+	if id < 0 {
+		return fmt.Errorf("sim: node id %d must be non-negative", id)
+	}
+	for int(id) >= len(n.procs) {
+		n.procs = append(n.procs, nil)
+	}
+	if n.procs[id] != nil {
 		return fmt.Errorf("sim: duplicate node id %d", id)
 	}
 	n.procs[id] = p
@@ -104,45 +166,55 @@ func (n *Network) Inject(to NodeID, msg Message) {
 }
 
 func (n *Network) enqueue(from, to NodeID, msg Message) {
-	l := link{from, to}
-	q := n.queues[l]
-	if len(q) == 0 {
-		n.ready = append(n.ready, l)
+	if to < 0 {
+		if n.badSend == nil {
+			n.badSend = fmt.Errorf("sim: message to invalid node %d", to)
+		}
+		return
 	}
-	n.queues[l] = append(q, envelope{from, msg})
+	for int(to) >= len(n.boxes) {
+		n.boxes = append(n.boxes, mailbox{})
+	}
+	mb := &n.boxes[to]
+	s := mb.slot(from)
+	q := &mb.links[s]
+	if q.count == 0 {
+		n.ready = append(n.ready, readyRef{to: to, slot: s})
+	}
+	q.push(msg)
 	n.sent++
 }
 
 // Step delivers one pending message (if any) and reports whether it did.
 func (n *Network) Step() (bool, error) {
-	for len(n.ready) > 0 {
-		i := n.rng.Intn(len(n.ready))
-		l := n.ready[i]
-		q := n.queues[l]
-		if len(q) == 0 {
-			// Stale entry (queue drained under a different ready slot).
-			n.ready[i] = n.ready[len(n.ready)-1]
-			n.ready = n.ready[:len(n.ready)-1]
-			continue
-		}
-		env := q[0]
-		rest := q[1:]
-		if len(rest) == 0 {
-			delete(n.queues, l)
-			n.ready[i] = n.ready[len(n.ready)-1]
-			n.ready = n.ready[:len(n.ready)-1]
-		} else {
-			n.queues[l] = rest
-		}
-		p, ok := n.procs[l.to]
-		if !ok {
-			return false, fmt.Errorf("sim: message to unknown node %d", l.to)
-		}
-		n.delivered++
-		p.OnMessage(&Context{net: n, self: l.to}, env.from, env.msg)
-		return true, nil
+	if n.badSend != nil {
+		return false, n.badSend
 	}
-	return false, nil
+	if len(n.ready) == 0 {
+		return false, nil
+	}
+	i := n.rng.Intn(len(n.ready))
+	ref := n.ready[i]
+	q := &n.boxes[ref.to].links[ref.slot]
+	from := q.from
+	msg := q.pop()
+	if q.count == 0 {
+		// Exact ready-list maintenance: a link enters the list when its
+		// queue turns nonempty and leaves here, at its known index, the
+		// moment it drains — no stale entries, no compaction scans.
+		n.ready[i] = n.ready[len(n.ready)-1]
+		n.ready = n.ready[:len(n.ready)-1]
+	}
+	var p Process
+	if int(ref.to) < len(n.procs) {
+		p = n.procs[ref.to]
+	}
+	if p == nil {
+		return false, fmt.Errorf("sim: message to unknown node %d", ref.to)
+	}
+	n.delivered++
+	p.OnMessage(&Context{net: n, self: ref.to}, from, msg)
+	return true, nil
 }
 
 // Run delivers messages until the network quiesces (no pending messages) or
@@ -150,6 +222,10 @@ func (n *Network) Step() (bool, error) {
 func (n *Network) Run(maxSteps int64) error {
 	for steps := int64(0); ; steps++ {
 		if steps >= maxSteps {
+			if n.badSend != nil {
+				// A dropped send must never let the run look quiescent.
+				return n.badSend
+			}
 			if len(n.ready) == 0 {
 				return nil
 			}
