@@ -22,6 +22,7 @@ import (
 
 func benchTable(b *testing.B, build func() (*experiments.Table, error)) {
 	b.Helper()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		tbl, err := build()
 		if err != nil {
@@ -84,6 +85,7 @@ func BenchmarkE6Alg1Runtime(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := offline.Algorithm1(m, arena); err != nil {
@@ -164,6 +166,7 @@ func BenchmarkAblationCubeGranularity(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.Run("all-sizes", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := lpchar.OmegaStarCubes(m, arena); err != nil {
 				b.Fatal(err)
@@ -171,6 +174,7 @@ func BenchmarkAblationCubeGranularity(b *testing.B) {
 		}
 	})
 	b.Run("doubling", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := lpchar.OmegaStarCubesDoubling(m, arena); err != nil {
 				b.Fatal(err)
@@ -194,6 +198,7 @@ func BenchmarkAblationMonitoring(b *testing.B) {
 			name = "on"
 		}
 		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				r, err := online.NewRunner(online.Options{
 					Arena: arena, CubeSide: 4, Capacity: 20, Seed: 2008,
@@ -225,6 +230,7 @@ func BenchmarkAblationGreedyVsStrategy(b *testing.B) {
 	}
 	seq := demand.NewSequence(jobs)
 	b.Run("greedy", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := baseline.GreedyMinCapacity(seq, arena, 0.05); err != nil {
 				b.Fatal(err)
@@ -232,6 +238,7 @@ func BenchmarkAblationGreedyVsStrategy(b *testing.B) {
 		}
 	})
 	b.Run("thesis-online", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			_, err := online.MinCapacity(seq, online.Options{
 				Arena: arena, CubeSide: 4, Seed: 2008,

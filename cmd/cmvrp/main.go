@@ -103,11 +103,17 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
+		// One partition serves the trace run and every capacity-search probe.
+		part, err := online.NewPartition(arena, char.Side)
+		if err != nil {
+			return err
+		}
 		if *trace {
 			w := float64(4*9+2) * math.Max(char.Omega, 1)
 			fmt.Fprintf(out, "\nonline event trace at W = %.4g:\n", w)
 			r, err := online.NewRunner(online.Options{
-				Arena: arena, CubeSide: char.Side, Capacity: w, Seed: *seed,
+				Arena: arena, CubeSide: char.Side, Partition: part,
+				Capacity: w, Seed: *seed,
 				Tracer: &online.WriterTracer{W: out},
 			})
 			if err != nil {
@@ -124,7 +130,8 @@ func run(args []string, out io.Writer) error {
 		// probe grid, so a fixed pool keeps the printed Won machine-
 		// independent for a given seed.
 		won, err := online.MinCapacityParallel(seq, online.Options{
-			Arena: arena, CubeSide: char.Side, Seed: *seed, SearchWorkers: 4,
+			Arena: arena, CubeSide: char.Side, Partition: part,
+			Seed: *seed, SearchWorkers: 4,
 		}, 1, 0.05)
 		if err != nil {
 			return err

@@ -53,6 +53,10 @@ type (
 	OnlineOptions = online.Options
 	// OnlineResult reports an online run's outcome and cost metrics.
 	OnlineResult = online.Result
+	// OnlinePartition is the immutable cube/pair geometry of the Chapter 3
+	// strategy. Build it once per sweep with NewOnlinePartition and share it
+	// across any number of runs via OnlineOptions.Partition.
+	OnlinePartition = online.Partition
 	// Longevity holds the Chapter 4 breakdown parameters p_i.
 	Longevity = broken.Longevity
 	// ConvoyParams configures the Section 5.2.1 transfer convoy.
@@ -156,8 +160,18 @@ func ExactLowerBound(m *Demand) (float64, error) {
 	return lpchar.OmegaStarFlow(m)
 }
 
+// NewOnlinePartition builds the online strategy's static geometry — the cube
+// decomposition, vertex pairing, and communication graph — once, so that
+// repeated runs over the same arena (experiment sweeps, capacity searches)
+// can share it through OnlineOptions.Partition instead of rebuilding it per
+// run. The partition is immutable and safe to share across goroutines.
+func NewOnlinePartition(arena *Arena, cubeSide int) (*OnlinePartition, error) {
+	return online.NewPartition(arena, cubeSide)
+}
+
 // RunOnline executes the Chapter 3 decentralized strategy on an arrival
-// sequence.
+// sequence. Each call builds (or, via opts.Partition, reuses) the geometry
+// and plays one episode.
 func RunOnline(seq *Sequence, opts OnlineOptions) (*OnlineResult, error) {
 	r, err := online.NewRunner(opts)
 	if err != nil {
@@ -168,10 +182,12 @@ func RunOnline(seq *Sequence, opts OnlineOptions) (*OnlineResult, error) {
 
 // MeasureWon finds the smallest capacity (within relative tol) at which the
 // online strategy serves the whole sequence — the empirical Won. The
-// feasibility probes are independent fixed-seed runs; set
-// opts.SearchWorkers >= 2 to race that many concurrently
-// (online.MinCapacityParallel). The default is the serial bisection, whose
-// answer depends only on the inputs — never on the host's core count.
+// feasibility probes are independent fixed-seed runs sharing one immutable
+// partition and warm-started runners (each probe resets a long-lived runner
+// instead of rebuilding the world); set opts.SearchWorkers >= 2 to race
+// that many concurrently (online.MinCapacityParallel), each worker owning
+// one such runner. The default is the serial bisection, whose answer
+// depends only on the inputs — never on the host's core count.
 // The parallel path ignores opts.Tracer: probes run concurrently and a
 // shared tracer would race.
 func MeasureWon(seq *Sequence, opts OnlineOptions, tol float64) (float64, error) {

@@ -126,3 +126,47 @@ func TestMeasureWonSmall(t *testing.T) {
 		t.Errorf("Won %v out of sane range for 4 spread jobs", won)
 	}
 }
+
+// TestSharedPartitionAcrossRuns exercises the sweep pattern the warm-start
+// work enables at the facade: build the geometry once, reuse it for both a
+// direct run and a capacity search, and get the same answers as without
+// sharing.
+func TestSharedPartitionAcrossRuns(t *testing.T) {
+	arena, err := NewArena(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part, err := NewOnlinePartition(arena, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := NewSequence([]Point{P(0, 0), P(1, 1), P(2, 2), P(3, 3)})
+	shared := OnlineOptions{Arena: arena, CubeSide: 2, Partition: part, Seed: 3}
+	plain := OnlineOptions{Arena: arena, CubeSide: 2, Seed: 3}
+
+	sharedOpts, plainOpts := shared, plain
+	sharedOpts.Capacity, plainOpts.Capacity = 8, 8
+	a, err := RunOnline(seq, sharedOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunOnline(seq, plainOpts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Served != b.Served || a.Messages != b.Messages || a.MaxEnergy != b.MaxEnergy {
+		t.Errorf("shared partition changed the run: %+v vs %+v", a, b)
+	}
+
+	wonShared, err := MeasureWon(seq, shared, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wonPlain, err := MeasureWon(seq, plain, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wonShared != wonPlain {
+		t.Errorf("MeasureWon with shared partition %v != %v without", wonShared, wonPlain)
+	}
+}

@@ -98,6 +98,13 @@ type Engine struct {
 	seq   int        // sequence number of the computation last joined
 
 	nextSeq int // local counter for computations this node initiates
+
+	// lastReply caches the most recently boxed Reply. Identical replies —
+	// the duplicate-query answers that dominate a flood — reuse one boxed
+	// interface value instead of allocating per send. The cached value is
+	// never mutated, so sharing it across in-flight messages is safe.
+	lastReply    Reply
+	lastReplyMsg sim.Message
 }
 
 // New creates an engine. Neighbors and IsCandidate are required; the
@@ -115,6 +122,33 @@ func New(cfg Config) (*Engine, error) {
 // State returns the node's current message-transfer state.
 func (e *Engine) State() State { return e.state }
 
+// Reset restores the engine to its freshly constructed state (Waiting, no
+// parent/child/initiator, sequence counter at zero) without reallocating.
+// A reset engine behaves bit-for-bit like one returned by New: part of the
+// online layer's warm-start contract for reused runners.
+func (e *Engine) Reset() {
+	e.state = Waiting
+	e.num = 0
+	e.par = sim.None
+	e.child = sim.None
+	e.init = sim.None
+	e.seq = 0
+	e.nextSeq = 0
+	e.lastReply = Reply{}
+	e.lastReplyMsg = nil
+}
+
+// sendReply sends a Reply, reusing the previous boxed message when the
+// content is identical (the common case: every duplicate query in a flood is
+// answered with the same not-found reply).
+func (e *Engine) sendReply(ctx sim.Sender, to sim.NodeID, r Reply) {
+	if e.lastReplyMsg == nil || e.lastReply != r {
+		e.lastReply = r
+		e.lastReplyMsg = r
+	}
+	ctx.Send(to, e.lastReplyMsg)
+}
+
 // StartSearch begins a new diffusing computation with this node as the
 // initiator (thesis Algorithm 2, "when a vehicle p uses up its energy").
 // It returns the computation's sequence number. If the node has no
@@ -129,8 +163,13 @@ func (e *Engine) StartSearch(ctx sim.Sender) int {
 	e.seq = seq
 	neigh := e.cfg.Neighbors()
 	e.num = len(neigh)
-	for _, n := range neigh {
-		ctx.Send(n, Query{Init: ctx.Self(), Seq: seq})
+	if e.num > 0 {
+		// Box the query once and fan the same immutable interface value out
+		// to every neighbor.
+		var msg sim.Message = Query{Init: ctx.Self(), Seq: seq}
+		for _, n := range neigh {
+			ctx.Send(n, msg)
+		}
 	}
 	if e.num == 0 {
 		e.state = Waiting
@@ -164,7 +203,7 @@ func (e *Engine) onQuery(ctx sim.Sender, from sim.NodeID, q Query) {
 	if e.state != Waiting || !fresh {
 		// Already part of this computation (or busy with another): tell the
 		// sender its tree topology need not change.
-		ctx.Send(from, Reply{Init: q.Init, Seq: q.Seq, Found: false})
+		e.sendReply(ctx, from, Reply{Init: q.Init, Seq: q.Seq, Found: false})
 		return
 	}
 	e.par = from
@@ -174,7 +213,7 @@ func (e *Engine) onQuery(ctx sim.Sender, from sim.NodeID, q Query) {
 	if e.cfg.IsCandidate() {
 		// An idle node answers immediately and stays waiting; it becomes
 		// the leaf of the search path.
-		ctx.Send(from, Reply{Init: q.Init, Seq: q.Seq, Found: true})
+		e.sendReply(ctx, from, Reply{Init: q.Init, Seq: q.Seq, Found: true})
 		return
 	}
 	e.state = Searching
@@ -182,11 +221,13 @@ func (e *Engine) onQuery(ctx sim.Sender, from sim.NodeID, q Query) {
 	e.num = len(neigh)
 	if e.num == 0 {
 		e.state = Waiting
-		ctx.Send(from, Reply{Init: q.Init, Seq: q.Seq, Found: false})
+		e.sendReply(ctx, from, Reply{Init: q.Init, Seq: q.Seq, Found: false})
 		return
 	}
+	// One boxed query shared by the whole re-flood (see StartSearch).
+	var msg sim.Message = Query{Init: q.Init, Seq: q.Seq}
 	for _, n := range neigh {
-		ctx.Send(n, Query{Init: q.Init, Seq: q.Seq})
+		ctx.Send(n, msg)
 	}
 }
 
@@ -200,7 +241,7 @@ func (e *Engine) onReply(ctx sim.Sender, from sim.NodeID, r Reply) {
 		e.child = from
 		if e.state == Searching {
 			// Propagate the discovery up immediately (Algorithm 2).
-			ctx.Send(e.par, Reply{Init: r.Init, Seq: r.Seq, Found: true})
+			e.sendReply(ctx, e.par, Reply{Init: r.Init, Seq: r.Seq, Found: true})
 		}
 	}
 	if e.num == 0 {
@@ -213,7 +254,7 @@ func (e *Engine) onReply(ctx sim.Sender, from sim.NodeID, r Reply) {
 			return
 		}
 		if e.child == sim.None {
-			ctx.Send(e.par, Reply{Init: r.Init, Seq: r.Seq, Found: false})
+			e.sendReply(ctx, e.par, Reply{Init: r.Init, Seq: r.Seq, Found: false})
 		}
 	}
 }

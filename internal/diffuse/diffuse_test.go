@@ -290,3 +290,42 @@ func TestStateTransitions(t *testing.T) {
 		}
 	}
 }
+
+// TestEngineResetMatchesFresh pins the warm-start contract: after Reset,
+// an engine (and the network it lives in) replays a search bit-for-bit
+// identically to freshly constructed ones — same completion result, same
+// delivered-message count, and the sequence counter starts over at 1.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}}
+	run := func(net *sim.Network, hosts []*host) (bool, int64) {
+		net.Inject(0, "start")
+		if err := net.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		if len(hosts[0].completions) != 1 {
+			t.Fatalf("want 1 completion, got %d", len(hosts[0].completions))
+		}
+		return hosts[0].completions[0], net.Delivered()
+	}
+	net, hosts := buildNetwork(t, 11, edges, 5, map[int]bool{3: true})
+	wantFound, wantMsgs := run(net, hosts)
+
+	net2, hosts2 := buildNetwork(t, 11, edges, 5, map[int]bool{3: true})
+	if f, m := run(net2, hosts2); f != wantFound || m != wantMsgs {
+		t.Fatalf("fresh replay diverged: found=%v msgs=%d, want %v/%d", f, m, wantFound, wantMsgs)
+	}
+	for i := 0; i < 3; i++ {
+		net2.Reset(11)
+		for _, h := range hosts2 {
+			h.eng.Reset()
+			h.completions = nil
+		}
+		if f, m := run(net2, hosts2); f != wantFound || m != wantMsgs {
+			t.Fatalf("reset replay %d diverged: found=%v msgs=%d, want %v/%d",
+				i, f, m, wantFound, wantMsgs)
+		}
+		if hosts2[0].eng.seq != 1 {
+			t.Fatalf("reset engine's first computation has seq %d, want 1", hosts2[0].eng.seq)
+		}
+	}
+}

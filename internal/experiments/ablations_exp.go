@@ -51,10 +51,15 @@ func E11Ablations(n int, jobs int64, seed int64) (*Table, error) {
 			return nil, err
 		}
 		w := float64(4*9+2) * math.Max(char.Omega, 1)
+		// One immutable partition shared by the monitoring-off/on runs.
+		part, err := online.NewPartition(arena, char.Side)
+		if err != nil {
+			return nil, err
+		}
 		var msgs [2]int64
 		for i, monitoring := range []bool{false, true} {
 			r, err := online.NewRunner(online.Options{
-				Arena: arena, CubeSide: char.Side, Capacity: w,
+				Arena: arena, CubeSide: char.Side, Partition: part, Capacity: w,
 				Seed: seed, Monitoring: monitoring,
 			})
 			if err != nil {
@@ -89,6 +94,11 @@ func E13Robustness(fractions []float64, seed int64) (*Table, error) {
 	}
 	const n = 6
 	arena := grid.MustNew(n, n)
+	// The geometry never changes across the sweep; build it once.
+	part, err := online.NewPartition(arena, n)
+	if err != nil {
+		return nil, err
+	}
 	for _, frac := range fractions {
 		if frac < 0 || frac > 1 {
 			return nil, fmt.Errorf("experiments: fraction %v outside [0,1]", frac)
@@ -111,8 +121,8 @@ func E13Robustness(fractions []float64, seed int64) (*Table, error) {
 		var rescues int64
 		for i, monitoring := range []bool{false, true} {
 			r, err := online.NewRunner(online.Options{
-				Arena: arena, CubeSide: n, Capacity: capacity, Seed: seed,
-				Monitoring: monitoring, FailInitiate: fail,
+				Arena: arena, CubeSide: n, Partition: part, Capacity: capacity,
+				Seed: seed, Monitoring: monitoring, FailInitiate: fail,
 			})
 			if err != nil {
 				return nil, err

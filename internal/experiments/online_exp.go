@@ -42,9 +42,14 @@ func E7Online(n int, jobs int64, seed int64) (*Table, error) {
 			return nil, err
 		}
 		// Fixed worker count: the parallel search's answer depends on the
-		// probe grid, so pinning it keeps tables machine-independent.
+		// probe grid, so pinning it keeps tables machine-independent. The
+		// prebuilt partition is shared by every probe runner of the search.
+		part, err := online.NewPartition(arena, char.Side)
+		if err != nil {
+			return nil, err
+		}
 		won, err := online.MinCapacityParallel(seq, online.Options{
-			Arena: arena, CubeSide: char.Side, Seed: seed,
+			Arena: arena, CubeSide: char.Side, Partition: part, Seed: seed,
 			SearchWorkers: e7SearchWorkers,
 		}, 1, 0.05)
 		if err != nil {

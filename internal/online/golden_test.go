@@ -111,3 +111,169 @@ func TestGoldenMinCapacity(t *testing.T) {
 		t.Errorf("serial MinCapacity = %v, want golden 7.0625", won)
 	}
 }
+
+// TestGoldenResetMatchesFresh is the warm-start contract test: a Runner
+// that is Reset and re-run must be bit-for-bit identical to a freshly
+// constructed one — same Served/Messages/Replacements/MonitorRescues — on
+// both golden scenarios, including after intermediate runs at *different*
+// capacities and seeds.
+func TestGoldenResetMatchesFresh(t *testing.T) {
+	t.Run("hot-point", func(t *testing.T) {
+		arena := grid.MustNew(8, 8)
+		jobs := make([]grid.Point, 60)
+		for i := range jobs {
+			jobs[i] = grid.P(4, 4)
+		}
+		want := goldenCounters{
+			served: 60, messages: 1310, replacements: 2, searches: 2,
+			maxEnergy: 23,
+		}
+		r := mustRunner(t, Options{Arena: arena, CubeSide: 8, Capacity: 24, Seed: 1})
+		res, err := r.Run(demand.NewSequence(jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, res, want)
+		// Perturb the runner with episodes at other capacities and seeds,
+		// then come back: the golden schedule must reappear exactly.
+		for _, probe := range []struct {
+			capacity float64
+			seed     int64
+		}{{7, 1}, {100, 5}, {24, 99}} {
+			if err := r.Reset(probe.capacity, probe.seed); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := r.Run(demand.NewSequence(jobs)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := r.Reset(24, 1); err != nil {
+			t.Fatal(err)
+		}
+		res, err = r.Run(demand.NewSequence(jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, res, want)
+	})
+	t.Run("failure-injection", func(t *testing.T) {
+		arena := grid.MustNew(6, 6)
+		rng := rand.New(rand.NewSource(42))
+		jobs := make([]grid.Point, 80)
+		for i := range jobs {
+			jobs[i] = grid.P(rng.Intn(6), rng.Intn(6))
+		}
+		want := goldenCounters{
+			served: 80, messages: 7616, replacements: 1, searches: 1,
+			monitorRescues: 1, maxEnergy: 11,
+		}
+		r := mustRunner(t, Options{
+			Arena: arena, CubeSide: 6, Capacity: 20, Seed: 9, Monitoring: true,
+			FailInitiate:      map[grid.Point]bool{grid.P(0, 0): true, grid.P(3, 3): true},
+			DeadBeforeArrival: map[grid.Point]int{grid.P(2, 2): 10},
+			Longevity:         map[grid.Point]float64{grid.P(5, 5): 0.5, grid.P(1, 4): 0},
+		})
+		res, err := r.Run(demand.NewSequence(jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, res, want)
+		// Monitoring, dead events, and longevity breakdowns all have cursor
+		// or per-vehicle state that Reset must restore.
+		for i := 0; i < 2; i++ {
+			if err := r.Reset(20, 9); err != nil {
+				t.Fatal(err)
+			}
+			res, err = r.Run(demand.NewSequence(jobs))
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, res, want)
+		}
+	})
+}
+
+// TestGoldenSharedPartition pins that a runner built on a prebuilt shared
+// Partition replays the same golden schedule as one that builds its own.
+func TestGoldenSharedPartition(t *testing.T) {
+	arena := grid.MustNew(8, 8)
+	part, err := NewPartition(arena, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]grid.Point, 60)
+	for i := range jobs {
+		jobs[i] = grid.P(4, 4)
+	}
+	want := goldenCounters{
+		served: 60, messages: 1310, replacements: 2, searches: 2,
+		maxEnergy: 23,
+	}
+	for i := 0; i < 2; i++ {
+		r := mustRunner(t, Options{
+			Arena: arena, CubeSide: 8, Partition: part, Capacity: 24, Seed: 1,
+		})
+		res, err := r.Run(demand.NewSequence(jobs))
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkGolden(t, res, want)
+	}
+}
+
+// TestGoldenMinCapacityWarmEqualsCold pins that the warm-started searches
+// (long-lived reset runners) agree exactly with cold per-probe construction
+// across worker counts.
+func TestGoldenMinCapacityWarmEqualsCold(t *testing.T) {
+	arena := grid.MustNew(8, 8)
+	jobs := make([]grid.Point, 60)
+	for i := range jobs {
+		jobs[i] = grid.P(4, 4)
+	}
+	seq := demand.NewSequence(jobs)
+	base := Options{Arena: arena, CubeSide: 8, Seed: 1}
+
+	// Cold oracle: a fresh runner per probe, as the searches did before the
+	// warm-start restructure.
+	cold := func(w float64) bool {
+		opts := base
+		opts.Capacity = w
+		r := mustRunner(t, opts)
+		res, err := r.Run(seq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.OK() && res.SearchFailures == 0
+	}
+	// Warm oracle: one runner reset per probe.
+	warm := &prober{seq: seq, base: base}
+	for _, w := range []float64{2, 4, 5, 6.5, 7.0625, 7.25, 8, 24} {
+		ok, err := warm.probe(w)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := cold(w); ok != want {
+			t.Errorf("capacity %v: warm probe %v, cold probe %v", w, ok, want)
+		}
+	}
+
+	if won, err := MinCapacity(seq, base, 1, 0.05); err != nil || won != 7.0625 {
+		t.Errorf("serial warm MinCapacity = %v, %v; want golden 7.0625", won, err)
+	}
+	for _, workers := range []int{2, 4} {
+		opts := base
+		opts.SearchWorkers = workers
+		won, err := MinCapacityParallel(seq, opts, 1, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		again, err := MinCapacityParallel(seq, opts, 1, 0.05)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if won != again {
+			t.Errorf("workers=%d: warm parallel search nondeterministic: %v vs %v",
+				workers, won, again)
+		}
+	}
+}

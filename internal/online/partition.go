@@ -39,6 +39,12 @@ func (p Pair) Covers(x grid.Point) bool {
 // Per-cell lookups are dense slices indexed by Arena.Index — the cell's
 // arena index doubles as its vehicle's sim.NodeID, so the hot layers above
 // never hash a point.
+//
+// A Partition is immutable after NewPartition returns and therefore safe to
+// share: a capacity search builds one and hands it to every probe runner
+// (including concurrent workers) via Options.Partition. Accessors returning
+// internal slices document that callers must not mutate them — that is the
+// whole sharing contract.
 type Partition struct {
 	arena    *grid.Grid
 	cubeSide int
@@ -185,6 +191,12 @@ func snakeOrder(b grid.Box) []grid.Point {
 	}
 	return out
 }
+
+// Arena returns the grid this partition decomposes.
+func (p *Partition) Arena() *grid.Grid { return p.arena }
+
+// CubeSide returns the partition granularity it was built with.
+func (p *Partition) CubeSide() int { return p.cubeSide }
 
 // Pairs returns the pair table (shared slice; callers must not mutate).
 func (p *Partition) Pairs() []Pair { return p.pairs }

@@ -18,6 +18,13 @@ type Options struct {
 	// CubeSide is the partition granularity, normally ceil(omega_c) of the
 	// (adversary's) demand — part of the strategy per Theorem 1.4.2.
 	CubeSide int
+	// Partition, when set, is a prebuilt geometry to reuse instead of
+	// constructing one: it must have been built for this exact Arena (and
+	// CubeSide, when that is nonzero). Partitions are immutable, so one can
+	// be shared by any number of runners, including concurrent search
+	// workers — the capacity searches build one per sweep and every probe
+	// reuses it.
+	Partition *Partition
 	// Capacity is the per-vehicle energy budget W being tested.
 	Capacity float64
 	// Seed drives the message-delay randomness.
@@ -119,7 +126,15 @@ type Runner struct {
 	monitorRescues int64
 	fatal          error
 	currentArrival int
+	// consumed latches after Run starts: the arrival cursor, counters, and
+	// vehicle states are spent, so a second Run without Reset would silently
+	// continue from mid-episode state. Reset re-arms the runner.
+	consumed bool
 }
+
+// ErrRunnerUsed is returned by Run when the runner has already played a
+// sequence and has not been Reset since.
+var ErrRunnerUsed = errors.New("online: Runner already ran; call Reset before running again")
 
 func (r *Runner) recordFailure(pos grid.Point, reason string) {
 	r.failures = append(r.failures, Failure{Pos: pos, Reason: reason})
@@ -139,7 +154,9 @@ func (r *Runner) failf(format string, args ...interface{}) {
 }
 
 // NewRunner builds the network: one vehicle per arena cell, initially active
-// on the pair's black vertex and idle on the white one.
+// on the pair's black vertex and idle on the white one. When
+// Options.Partition is set the prebuilt geometry is reused; otherwise one is
+// constructed for Arena and CubeSide.
 func NewRunner(opts Options) (*Runner, error) {
 	if opts.Arena == nil {
 		return nil, errors.New("online: Arena is required")
@@ -147,9 +164,21 @@ func NewRunner(opts Options) (*Runner, error) {
 	if opts.Capacity <= 0 {
 		return nil, fmt.Errorf("online: capacity %v must be positive", opts.Capacity)
 	}
-	part, err := NewPartition(opts.Arena, opts.CubeSide)
-	if err != nil {
-		return nil, err
+	part := opts.Partition
+	if part == nil {
+		var err error
+		part, err = NewPartition(opts.Arena, opts.CubeSide)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		if part.arena != opts.Arena {
+			return nil, errors.New("online: Options.Partition was built for a different arena")
+		}
+		if opts.CubeSide != 0 && opts.CubeSide != part.cubeSide {
+			return nil, fmt.Errorf("online: Options.Partition has cube side %d, CubeSide asks for %d",
+				part.cubeSide, opts.CubeSide)
+		}
 	}
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = 50_000_000
@@ -165,9 +194,8 @@ func NewRunner(opts Options) (*Runner, error) {
 	// Densify the failure-injection maps once at the public boundary; the
 	// simulation itself never hashes a point again.
 	r.deadEvents = densifyDeadEvents(opts.Arena, opts.DeadBeforeArrival)
-	for _, cell := range opts.Arena.Bounds().Points() {
-		cell := cell
-		idx := opts.Arena.Index(cell)
+	for idx := int64(0); idx < opts.Arena.Len(); idx++ {
+		cell := opts.Arena.PointAt(idx)
 		id := sim.NodeID(idx)
 		pairID := part.PairAt(idx)
 		if pairID < 0 {
@@ -191,15 +219,9 @@ func NewRunner(opts Options) (*Runner, error) {
 			r:            r,
 			id:           id,
 			home:         cell,
-			pos:          cell,
-			pairID:       pairID,
-			state:        Idle,
 			failInitiate: opts.FailInitiate[cell],
 			longevity:    longevity,
 			neighbors:    neighbors,
-		}
-		if longevity == 0 {
-			v.state = Dead // broken from the start (p_i = 0)
 		}
 		eng, err := diffuse.New(diffuse.Config{
 			Neighbors: func() []sim.NodeID { return v.neighbors },
@@ -227,12 +249,35 @@ func NewRunner(opts Options) (*Runner, error) {
 			return nil, err
 		}
 	}
+	r.restoreInitialState()
+	return r, nil
+}
+
+// restoreInitialState puts every mutable piece of the episode — vehicle
+// positions, working states, energy, the pair-ownership tables, the dead-
+// event cursor, and all counters — back to its just-constructed value. It is
+// the shared tail of NewRunner and Reset, which is what makes a reset run
+// bit-for-bit identical to a fresh one.
+func (r *Runner) restoreInitialState() {
+	for _, v := range r.vehicles {
+		v.pos = v.home
+		v.used = 0
+		v.pairID = r.part.PairAt(int64(v.id))
+		v.state = Idle
+		if v.longevity == 0 {
+			v.state = Dead // broken from the start (p_i = 0)
+		}
+		v.searchPair = 0
+		v.searchDest = grid.Point{}
+		v.heard = nil
+		v.eng.Reset()
+	}
 	// Activate the service vertex of every pair; fall back to the white
 	// partner when the black vertex's vehicle is broken from the start.
-	for i, pr := range part.Pairs() {
-		id := sim.NodeID(opts.Arena.Index(pr.ServicePos()))
+	for i, pr := range r.part.Pairs() {
+		id := sim.NodeID(r.opts.Arena.Index(pr.ServicePos()))
 		if r.vehicles[id].state == Dead && !pr.Single {
-			if alt := sim.NodeID(opts.Arena.Index(pr.Cells[1])); r.vehicles[alt].state != Dead {
+			if alt := sim.NodeID(r.opts.Arena.Index(pr.Cells[1])); r.vehicles[alt].state != Dead {
 				id = alt
 			}
 		}
@@ -240,8 +285,38 @@ func NewRunner(opts Options) (*Runner, error) {
 			r.vehicles[id].state = Active
 		}
 		r.pairActive[i] = id
+		r.pendingReplace[i] = false
 	}
-	return r, nil
+	r.nextDead = 0
+	r.served = 0
+	// Start a fresh failure list rather than truncating: the previous run's
+	// Result aliases the old backing array.
+	r.failures = nil
+	r.maxEnergy = 0
+	r.replacements = 0
+	r.searches = 0
+	r.searchFailures = 0
+	r.monitorRescues = 0
+	r.fatal = nil
+	r.currentArrival = 0
+	r.consumed = false
+}
+
+// Reset re-arms a consumed runner for another episode at the given capacity
+// and seed, reusing every structure NewRunner built: the partition, the
+// vehicles and their diffusion engines, the pair tables, and the network
+// with all its link tables and ring buffers. After Reset the runner behaves
+// bit-for-bit like NewRunner(opts with Capacity/Seed replaced) — the
+// warm-start contract the capacity searches rely on.
+func (r *Runner) Reset(capacity float64, seed int64) error {
+	if capacity <= 0 {
+		return fmt.Errorf("online: capacity %v must be positive", capacity)
+	}
+	r.opts.Capacity = capacity
+	r.opts.Seed = seed
+	r.net.Reset(seed)
+	r.restoreInitialState()
+	return nil
 }
 
 // densifyDeadEvents converts the public DeadBeforeArrival map into a slice
@@ -279,7 +354,14 @@ func (r *Runner) Partition() *Partition { return r.part }
 // physically covering its pair, the network is run to quiescence (the thesis
 // assumes inter-arrival gaps long enough for all computation and movement),
 // and — when monitoring is on — a heartbeat and a check round follow.
+//
+// A runner is single-use: Run consumes the vehicle states and counters, so
+// calling it again without an intervening Reset returns ErrRunnerUsed.
 func (r *Runner) Run(seq *demand.Sequence) (*Result, error) {
+	if r.consumed {
+		return nil, ErrRunnerUsed
+	}
+	r.consumed = true
 	for i := 0; i < seq.Len(); i++ {
 		r.currentArrival = i
 		pos := seq.At(i)
@@ -330,16 +412,17 @@ func (r *Runner) quiesce() error {
 // (the run-to-quiescence analogue of "send existing messages periodically;
 // decide the neighbor is done after a timeout").
 func (r *Runner) monitorRound() error {
-	// Inject in arena order: map iteration order would break run
-	// reproducibility by perturbing the delivery scheduler's RNG stream.
-	for _, cell := range r.opts.Arena.Bounds().Points() {
-		r.net.Inject(sim.NodeID(r.opts.Arena.Index(cell)), heartbeatRound{})
+	// Inject in arena-index order (identical to point enumeration order; a
+	// map iteration here would break run reproducibility by perturbing the
+	// delivery scheduler's RNG stream).
+	for idx := int64(0); idx < r.opts.Arena.Len(); idx++ {
+		r.net.Inject(sim.NodeID(idx), heartbeatRound{})
 	}
 	if err := r.quiesce(); err != nil {
 		return err
 	}
-	for _, cell := range r.opts.Arena.Bounds().Points() {
-		r.net.Inject(sim.NodeID(r.opts.Arena.Index(cell)), checkRound{})
+	for idx := int64(0); idx < r.opts.Arena.Len(); idx++ {
+		r.net.Inject(sim.NodeID(idx), checkRound{})
 	}
 	return r.quiesce()
 }

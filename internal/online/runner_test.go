@@ -1,6 +1,7 @@
 package online
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -347,5 +348,100 @@ func TestWorkStateString(t *testing.T) {
 		if s.String() == "" {
 			t.Errorf("empty string for %d", int(s))
 		}
+	}
+}
+
+// TestRunnerSingleUse is the regression test for the latent reuse bug: a
+// second Run without Reset used to silently continue from the consumed
+// dead-event cursor and accumulated counters; now it is an explicit error.
+func TestRunnerSingleUse(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	r := mustRunner(t, Options{Arena: arena, CubeSide: 4, Capacity: 10, Seed: 1})
+	seq := demand.NewSequence([]grid.Point{r.Partition().Pairs()[0].ServicePos()})
+	if _, err := r.Run(seq); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(seq); !errors.Is(err, ErrRunnerUsed) {
+		t.Fatalf("second Run: got %v, want ErrRunnerUsed", err)
+	}
+	// Reset re-arms it.
+	if err := r.Reset(10, 1); err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run(seq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() || res.Served != 1 {
+		t.Fatalf("post-reset run: %+v", res)
+	}
+}
+
+// TestResetValidation rejects non-positive capacities, like NewRunner.
+func TestResetValidation(t *testing.T) {
+	r := mustRunner(t, Options{Arena: grid.MustNew(2, 2), CubeSide: 2, Capacity: 5, Seed: 1})
+	if err := r.Reset(0, 1); err == nil {
+		t.Error("capacity 0 should fail")
+	}
+	if err := r.Reset(-3, 1); err == nil {
+		t.Error("negative capacity should fail")
+	}
+}
+
+// TestResetDoesNotClobberPriorResult guards the aliasing hazard: a Result's
+// failure list must survive the runner being reset and re-run.
+func TestResetDoesNotClobberPriorResult(t *testing.T) {
+	arena := grid.MustNew(2, 2)
+	r := mustRunner(t, Options{Arena: arena, CubeSide: 2, Capacity: 4, Seed: 3})
+	pos := r.Partition().Pairs()[0].ServicePos()
+	jobs := make([]grid.Point, 50)
+	for i := range jobs {
+		jobs[i] = pos
+	}
+	res, err := r.Run(demand.NewSequence(jobs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.OK() {
+		t.Fatal("overload run should fail")
+	}
+	nFail := len(res.Failures)
+	first := res.Failures[0]
+	if err := r.Reset(4, 3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Run(demand.NewSequence(jobs)); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) != nFail || res.Failures[0] != first {
+		t.Error("reset/re-run mutated the previous Result's failure list")
+	}
+}
+
+// TestSharedPartitionValidation pins the Options.Partition contract: the
+// prebuilt geometry must match the arena and the requested cube side.
+func TestSharedPartitionValidation(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	part, err := NewPartition(arena, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if part.Arena() != arena || part.CubeSide() != 2 {
+		t.Fatalf("accessors: arena %p side %d", part.Arena(), part.CubeSide())
+	}
+	other := grid.MustNew(4, 4)
+	if _, err := NewRunner(Options{Arena: other, Partition: part, Capacity: 5}); err == nil {
+		t.Error("partition built for a different arena should fail")
+	}
+	if _, err := NewRunner(Options{Arena: arena, CubeSide: 4, Partition: part, Capacity: 5}); err == nil {
+		t.Error("cube-side mismatch should fail")
+	}
+	// CubeSide 0 defers entirely to the partition.
+	r, err := NewRunner(Options{Arena: arena, Partition: part, Capacity: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Partition() != part {
+		t.Error("runner should adopt the shared partition")
 	}
 }

@@ -13,34 +13,69 @@ import (
 // is declared infeasible.
 const maxSearchCapacity = 1e12
 
-// capacityProbe returns the feasibility oracle shared by the serial and
-// parallel capacity searches: does the strategy serve the whole sequence at
-// capacity w with no failed replacement searches? Each invocation builds an
-// independent Runner, so concurrent probes share no mutable state.
-func capacityProbe(seq *demand.Sequence, base Options) func(w float64) (bool, error) {
-	return func(w float64) (bool, error) {
-		opts := base
+// prober is the warm-started feasibility oracle of the capacity searches:
+// does the strategy serve the whole sequence at capacity w with no failed
+// replacement searches? Each prober owns one long-lived Runner, built on its
+// first probe and Reset — not rebuilt — for every probe after that, so the
+// partition, vehicles, diffusion engines, and the simulator's link tables
+// and ring buffers are constructed once per search (or once per worker).
+// A prober is confined to one goroutine; concurrent probers share only the
+// immutable Partition carried in base.Partition.
+type prober struct {
+	seq  *demand.Sequence
+	base Options
+	r    *Runner
+}
+
+func (p *prober) probe(w float64) (bool, error) {
+	if p.r == nil {
+		opts := p.base
 		opts.Capacity = w
 		r, err := NewRunner(opts)
 		if err != nil {
 			return false, err
 		}
-		res, err := r.Run(seq)
-		if err != nil {
-			return false, err
-		}
-		return res.OK() && res.SearchFailures == 0, nil
+		p.r = r
+	} else if err := p.r.Reset(w, p.base.Seed); err != nil {
+		return false, err
 	}
+	res, err := p.r.Run(p.seq)
+	if err != nil {
+		return false, err
+	}
+	return res.OK() && res.SearchFailures == 0, nil
+}
+
+// sharePartition makes sure base carries a prebuilt Partition so every
+// runner of a search reuses one geometry instead of rebuilding it per probe.
+func sharePartition(base *Options) error {
+	if base.Partition != nil {
+		return nil
+	}
+	if base.Arena == nil {
+		return errors.New("online: Arena is required")
+	}
+	part, err := NewPartition(base.Arena, base.CubeSide)
+	if err != nil {
+		return err
+	}
+	base.Partition = part
+	return nil
 }
 
 // MinCapacity measures the empirical Won for a sequence: the smallest
 // capacity (within tol, relative) for which the strategy serves every job.
-// The bracket grows exponentially from lo until a run succeeds.
+// The bracket grows exponentially from lo until a run succeeds. All probes
+// reuse one Runner (reset per probe) and one shared Partition.
 func MinCapacity(seq *demand.Sequence, base Options, lo float64, tol float64) (float64, error) {
 	if lo < serveCost {
 		lo = serveCost
 	}
-	run := capacityProbe(seq, base)
+	if err := sharePartition(&base); err != nil {
+		return 0, err
+	}
+	p := &prober{seq: seq, base: base}
+	run := p.probe
 	hi := lo
 	for {
 		ok, err := run(hi)
@@ -76,10 +111,11 @@ func MinCapacity(seq *demand.Sequence, base Options, lo float64, tol float64) (f
 }
 
 // MinCapacityParallel is MinCapacity with the independent probes raced
-// across a pool of base.SearchWorkers goroutines, each running its own
-// Runner and Network. Both phases are batched: the exponential bracket
-// evaluates `workers` doublings at once, and the bisection replaces the
-// midpoint probe with `workers` evenly spaced interior points, narrowing
+// across a pool of base.SearchWorkers goroutines, each owning one
+// long-lived Runner (and Network) that it resets per probe; all workers
+// share one immutable Partition. Both phases are batched: the exponential
+// bracket evaluates `workers` doublings at once, and the bisection replaces
+// the midpoint probe with `workers` evenly spaced interior points, narrowing
 // the bracket by a factor of workers+1 per round. The result is
 // deterministic for a given worker count (batch results are gathered
 // before any decision), though it may differ from the serial search by up
@@ -100,7 +136,19 @@ func MinCapacityParallel(seq *demand.Sequence, base Options, lo, tol float64) (f
 	if lo < serveCost {
 		lo = serveCost
 	}
-	probe := capacityProbe(seq, base)
+	if err := sharePartition(&base); err != nil {
+		return 0, err
+	}
+	// One prober per worker slot. Batches never exceed `workers` entries, so
+	// candidate i of a batch always runs on prober i: a prober is touched by
+	// one goroutine per batch, and wg.Wait orders batches, so each runner
+	// stays effectively single-threaded across the whole search. Which
+	// prober evaluates a capacity does not matter for the answer — every
+	// probe is a fixed-seed run from reset state.
+	probers := make([]*prober, workers)
+	for i := range probers {
+		probers[i] = &prober{seq: seq, base: base}
+	}
 
 	// probeBatch evaluates candidate capacities concurrently (both phases
 	// build batches of at most `workers` entries). Errors are resolved in
@@ -113,7 +161,7 @@ func MinCapacityParallel(seq *demand.Sequence, base Options, lo, tol float64) (f
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				oks[i], errs[i] = probe(ws[i])
+				oks[i], errs[i] = probers[i].probe(ws[i])
 			}(i)
 		}
 		wg.Wait()

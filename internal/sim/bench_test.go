@@ -33,3 +33,28 @@ func BenchmarkMessageThroughput(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkMessageThroughputWarm is BenchmarkMessageThroughput on one
+// long-lived network reset per iteration: the steady state of the online
+// layer's warm-started capacity probes. With integer payloads interned by
+// the runtime, a warm episode is allocation-free.
+func BenchmarkMessageThroughputWarm(b *testing.B) {
+	const ring = 64
+	n := NewNetwork(1)
+	for j := 0; j < ring; j++ {
+		if err := n.Add(NodeID(j), relay{next: NodeID((j + 1) % ring)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Reset(1)
+		for j := 0; j < 8; j++ {
+			n.Inject(NodeID(j*7%ring), 1000)
+		}
+		if err := n.Run(10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -101,6 +101,7 @@ type readyRef struct {
 // threaded: determinism comes free and the package is safe exactly when a
 // Network is confined to one goroutine.
 type Network struct {
+	src       rand.Source
 	rng       *rand.Rand
 	procs     []Process  // dense, indexed by NodeID
 	boxes     []mailbox  // dense, indexed by destination NodeID
@@ -111,11 +112,44 @@ type Network struct {
 	// error on the next Step (matching the map-era "unknown node" behavior
 	// of erroring at delivery time, not send time).
 	badSend error
+	// ctx is the single delivery context, handed to every OnMessage with
+	// only its self field rewritten — one pooled struct instead of one heap
+	// allocation per delivered message.
+	ctx Context
 }
 
 // NewNetwork creates an empty network with the given determinism seed.
 func NewNetwork(seed int64) *Network {
-	return &Network{rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	n := &Network{src: src, rng: rand.New(src)}
+	n.ctx.net = n
+	return n
+}
+
+// Reset returns the network to its just-constructed state while retaining
+// all storage, so a reused network allocates nothing on re-run: registered
+// processes stay, every mailbox keeps its link table and each link keeps
+// its ring-buffer capacity (pending payload references are released), the
+// ready list is cleared in place, the delivery counters and the bad-send
+// latch are zeroed, and the RNG is reseeded. A reset network runs
+// bit-for-bit identically to a freshly built one with the same seed and
+// processes.
+func (n *Network) Reset(seed int64) {
+	n.src.Seed(seed)
+	for b := range n.boxes {
+		links := n.boxes[b].links
+		for l := range links {
+			q := &links[l]
+			for q.count > 0 {
+				q.pop() // pop nils stored refs so payloads are collectable
+			}
+			q.head = 0
+		}
+	}
+	n.ready = n.ready[:0]
+	n.delivered = 0
+	n.sent = 0
+	n.badSend = nil
 }
 
 // Add registers a process under id.
@@ -137,6 +171,9 @@ func (n *Network) Add(id NodeID, p Process) error {
 }
 
 // Context is the capability handed to a process while it handles a message.
+// It is pooled: the network rewrites one Context per delivery, so it is only
+// valid for the duration of the OnMessage call it was passed to — processes
+// must not retain it.
 type Context struct {
 	net  *Network
 	self NodeID
@@ -213,7 +250,8 @@ func (n *Network) Step() (bool, error) {
 		return false, fmt.Errorf("sim: message to unknown node %d", ref.to)
 	}
 	n.delivered++
-	p.OnMessage(&Context{net: n, self: ref.to}, from, msg)
+	n.ctx.self = ref.to
+	p.OnMessage(&n.ctx, from, msg)
 	return true, nil
 }
 
