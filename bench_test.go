@@ -58,7 +58,7 @@ func BenchmarkE3PointScaling(b *testing.B) {
 // BenchmarkE4LPDuality regenerates the Lemma 2.2.1-2.2.3 verification.
 func BenchmarkE4LPDuality(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) {
-		return experiments.E4Duality(10, 2008)
+		return experiments.E4Duality(10, 2008, 1)
 	})
 }
 
@@ -66,7 +66,7 @@ func BenchmarkE4LPDuality(b *testing.B) {
 // approximation measurement.
 func BenchmarkE5ApproxQuality(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) {
-		return experiments.E5ApproxQuality(32, 800, 2008)
+		return experiments.E5ApproxQuality(32, 800, 2008, 1)
 	})
 }
 
@@ -99,7 +99,7 @@ func BenchmarkE6Alg1Runtime(b *testing.B) {
 // BenchmarkE7OnlineVsOffline regenerates the Theorem 1.4.2 measurement.
 func BenchmarkE7OnlineVsOffline(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) {
-		return experiments.E7Online(8, 80, 2008)
+		return experiments.E7Online(8, 80, 2008, 1)
 	})
 }
 
@@ -129,7 +129,7 @@ func BenchmarkE10Transfers(b *testing.B) {
 // ablation table.
 func BenchmarkE11Ablations(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) {
-		return experiments.E11Ablations(8, 80, 2008)
+		return experiments.E11Ablations(8, 80, 2008, 1)
 	})
 }
 
@@ -145,7 +145,7 @@ func BenchmarkE12DimensionSweep(b *testing.B) {
 // (Section 3.2.5 scenario 2).
 func BenchmarkE13Robustness(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) {
-		return experiments.E13Robustness([]float64{0, 0.5, 1}, 2008)
+		return experiments.E13Robustness([]float64{0, 0.5, 1}, 2008, 1)
 	})
 }
 

@@ -1,13 +1,15 @@
-// Command experiments regenerates every reproduction table E1..E10 (see
+// Command experiments regenerates every reproduction table E1..E13 (see
 // DESIGN.md for the index, EXPERIMENTS.md for the recorded outputs) and
 // prints them as markdown.
 //
 // Usage:
 //
-//	experiments [-quick] [-run E7]
+//	experiments [-quick] [-run E7] [-workers N]
 //
 // -quick shrinks instance sizes for a fast smoke run; -run selects a single
-// experiment by id.
+// experiment by id; -workers sets the sweep fan-out width (every table is
+// byte-identical for every width — the default is pinned rather than
+// runtime.NumCPU() so runs on different hosts do the same thing by default).
 package main
 
 import (
@@ -20,6 +22,11 @@ import (
 	"repro/internal/experiments"
 )
 
+// defaultSweepWorkers pins the sweep width (like E7 pins its search
+// workers): not for reproducible values — those are width-independent — but
+// so the shipped command behaves identically on every host by default.
+const defaultSweepWorkers = 4
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
@@ -31,10 +38,15 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	quick := fs.Bool("quick", false, "shrink instance sizes for a fast run")
 	only := fs.String("run", "", "run a single experiment id (e.g. E7)")
+	workers := fs.Int("workers", defaultSweepWorkers,
+		"sweep fan-out width (tables are byte-identical for every value)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	tables, err := experiments.All(*quick)
+	if *workers < 1 {
+		return fmt.Errorf("-workers %d must be >= 1", *workers)
+	}
+	tables, err := experiments.All(*quick, *workers)
 	if err != nil {
 		return err
 	}
@@ -48,7 +60,7 @@ func run(args []string, out io.Writer) error {
 		printed++
 	}
 	if printed == 0 {
-		return fmt.Errorf("no experiment matches %q (valid: E1..E10)", *only)
+		return fmt.Errorf("no experiment matches %q (valid: E1..E13)", *only)
 	}
 	return nil
 }

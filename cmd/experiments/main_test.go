@@ -50,3 +50,29 @@ func TestBadFlag(t *testing.T) {
 		t.Error("bad flag should fail")
 	}
 }
+
+// TestWorkersFlagByteIdentical pins the command-level contract: the sweep
+// experiments emit byte-identical markdown for any -workers value (E6 is
+// excluded from the default comparison set because its rows are wall-clock
+// measurements that vary per run regardless of width).
+func TestWorkersFlagByteIdentical(t *testing.T) {
+	for _, id := range []string{"E4", "E11", "E13"} {
+		serial, err := capture(t, []string{"-quick", "-run", id, "-workers", "1"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wide, err := capture(t, []string{"-quick", "-run", id, "-workers", "8"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if serial != wide {
+			t.Errorf("%s output differs between -workers 1 and 8:\n%s\nvs\n%s", id, serial, wide)
+		}
+	}
+}
+
+func TestWorkersFlagValidation(t *testing.T) {
+	if _, err := capture(t, []string{"-quick", "-workers", "0"}); err == nil {
+		t.Error("-workers 0 should fail")
+	}
+}

@@ -14,6 +14,9 @@
 //   - RunOnline / MeasureWon: the decentralized Chapter 3 strategy built on
 //     Dijkstra-Scholten diffusing computations, with optional monitoring
 //     (Section 3.2.5) and failure injection;
+//   - RunSweep: the deterministic parallel episode-sweep engine — many
+//     scenarios fanned over pooled warm runners, results ordered by
+//     scenario index so output never depends on the worker count;
 //   - the Chapter 4 broken-vehicle bounds and the Chapter 5 energy-transfer
 //     analyses, re-exported from their subpackages via thin wrappers.
 //
@@ -31,6 +34,7 @@ import (
 	"repro/internal/lpchar"
 	"repro/internal/offline"
 	"repro/internal/online"
+	"repro/internal/sweep"
 	"repro/internal/transfer"
 )
 
@@ -171,13 +175,28 @@ func NewOnlinePartition(arena *Arena, cubeSide int) (*OnlinePartition, error) {
 
 // RunOnline executes the Chapter 3 decentralized strategy on an arrival
 // sequence. Each call builds (or, via opts.Partition, reuses) the geometry
-// and plays one episode.
+// and plays one episode. For many episodes, use RunSweep.
 func RunOnline(seq *Sequence, opts OnlineOptions) (*OnlineResult, error) {
 	r, err := online.NewRunner(opts)
 	if err != nil {
 		return nil, err
 	}
 	return r.Run(seq)
+}
+
+// SweepScenario is one cell of an episode sweep: the options and arrival
+// sequence of one online run.
+type SweepScenario = sweep.Scenario
+
+// RunSweep plays one online episode per scenario on a deterministic parallel
+// worker pool — the engine behind the experiments tables — and returns the
+// results ordered by scenario index. Each worker owns long-lived warm
+// runners keyed by geometry (arena pointer + cube side), so scenarios that
+// share a geometry replay construction-free; scenarios are independent
+// fixed-seed simulations, so the results are bit-for-bit identical for every
+// worker count. workers <= 0 uses runtime.NumCPU(); 1 runs serially.
+func RunSweep(scenarios []SweepScenario, workers int) ([]*OnlineResult, error) {
+	return sweep.Episodes(sweep.Config{Workers: workers}, scenarios)
 }
 
 // MeasureWon finds the smallest capacity (within relative tol) at which the

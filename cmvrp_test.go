@@ -170,3 +170,44 @@ func TestSharedPartitionAcrossRuns(t *testing.T) {
 		t.Errorf("MeasureWon with shared partition %v != %v without", wonShared, wonPlain)
 	}
 }
+
+func TestRunSweepMatchesRunOnline(t *testing.T) {
+	arena, err := NewArena(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs := make([]Point, 40)
+	for i := range jobs {
+		jobs[i] = P(4, 4)
+	}
+	seq := NewSequence(jobs)
+	var scenarios []SweepScenario
+	for seed := int64(1); seed <= 4; seed++ {
+		scenarios = append(scenarios, SweepScenario{
+			Opts: OnlineOptions{Arena: arena, CubeSide: 8, Capacity: 24, Seed: seed},
+			Seq:  seq,
+		})
+	}
+	// The sweep must agree with per-episode RunOnline for every worker
+	// count (the pooled warm runners replay bit-for-bit like fresh ones).
+	for _, workers := range []int{1, 3} {
+		results, err := RunSweep(scenarios, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(scenarios) {
+			t.Fatalf("got %d results", len(results))
+		}
+		for i, sc := range scenarios {
+			solo, err := RunOnline(seq, sc.Opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := results[i]
+			if got.Served != solo.Served || got.Messages != solo.Messages ||
+				got.Replacements != solo.Replacements || got.MaxEnergy != solo.MaxEnergy {
+				t.Errorf("workers=%d scenario %d: sweep %+v, solo %+v", workers, i, got, solo)
+			}
+		}
+	}
+}

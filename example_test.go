@@ -84,3 +84,44 @@ func ExampleConvoy() {
 	fmt.Printf("per-vehicle charge %.2f covers 1000 units of demand (avg 10.00)\n", res.W)
 	// Output: per-vehicle charge 13.95 covers 1000 units of demand (avg 10.00)
 }
+
+// ExampleRunSweep fans a seed-grid of episodes over the deterministic sweep
+// engine: results come back ordered by scenario index and are identical for
+// any worker count.
+func ExampleRunSweep() {
+	arena, err := cmvrp.NewArena(8, 8)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	dem, err := cmvrp.PointDemand(2, cmvrp.P(4, 4), 60)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	seq, err := cmvrp.ToSequence(dem, cmvrp.OrderSorted, nil)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	var scenarios []cmvrp.SweepScenario
+	for seed := int64(1); seed <= 3; seed++ {
+		scenarios = append(scenarios, cmvrp.SweepScenario{
+			Opts: cmvrp.OnlineOptions{Arena: arena, CubeSide: 8, Capacity: 24, Seed: seed},
+			Seq:  seq,
+		})
+	}
+	results, err := cmvrp.RunSweep(scenarios, 2)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for i, res := range results {
+		fmt.Printf("seed %d: served %d/60, replacements %d\n",
+			scenarios[i].Opts.Seed, res.Served, res.Replacements)
+	}
+	// Output:
+	// seed 1: served 60/60, replacements 2
+	// seed 2: served 60/60, replacements 2
+	// seed 3: served 60/60, replacements 2
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/lpchar"
 	"repro/internal/offline"
 	"repro/internal/online"
+	"repro/internal/sweep"
 )
 
 // E11Ablations quantifies two design choices DESIGN.md calls out:
@@ -19,7 +20,7 @@ import (
 //     sweep? (The answer is bounded by the doubling ratio.)
 //  2. the monitoring ring — the Section 3.2.5 heartbeats cost messages even
 //     when nothing fails; how many?
-func E11Ablations(n int, jobs int64, seed int64) (*Table, error) {
+func E11Ablations(n int, jobs int64, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		ID:    "E11",
 		Title: fmt.Sprintf("ablations (n=%d, %d jobs)", n, jobs),
@@ -28,54 +29,60 @@ func E11Ablations(n int, jobs int64, seed int64) (*Table, error) {
 		Notes: "Doubling concedes at most ~2x of the cube characterization; the heartbeat ring multiplies message load even in failure-free runs.",
 	}
 	arena := grid.MustNew(n, n)
-	for _, name := range []string{"uniform", "clusters", "point"} {
-		rng := rand.New(rand.NewSource(seed))
-		m, err := workload(name, arena, rng, jobs)
-		if err != nil {
-			return nil, err
-		}
-		full, err := lpchar.OmegaStarCubes(m, arena)
-		if err != nil {
-			return nil, err
-		}
-		dbl, err := lpchar.OmegaStarCubesDoubling(m, arena)
-		if err != nil {
-			return nil, err
-		}
-		char, err := offline.OmegaC(m, arena)
-		if err != nil {
-			return nil, err
-		}
-		seq, err := demand.SequenceOf(m, demand.OrderShuffled, rng)
-		if err != nil {
-			return nil, err
-		}
-		w := float64(4*9+2) * math.Max(char.Omega, 1)
-		// One immutable partition shared by the monitoring-off/on runs.
-		part, err := online.NewPartition(arena, char.Side)
-		if err != nil {
-			return nil, err
-		}
-		var msgs [2]int64
-		for i, monitoring := range []bool{false, true} {
-			r, err := online.NewRunner(online.Options{
-				Arena: arena, CubeSide: char.Side, Partition: part, Capacity: w,
-				Seed: seed, Monitoring: monitoring,
-			})
+	// A mixed-geometry sweep: char.Side varies per workload, so a worker's
+	// pool rebuilds on geometry changes and warm-resets the monitoring-
+	// off/on episode pair within each scenario.
+	type row struct {
+		full, dbl float64
+		msgs      [2]int64
+	}
+	names := []string{"uniform", "clusters", "point"}
+	rows, err := sweep.Map(sweep.Config{Workers: workers}, names,
+		func(w *sweep.Worker, name string, _ int) (row, error) {
+			rng := rand.New(rand.NewSource(seed))
+			m, err := workload(name, arena, rng, jobs)
 			if err != nil {
-				return nil, err
+				return row{}, err
 			}
-			res, err := r.Run(seq)
+			full, err := lpchar.OmegaStarCubes(m, arena)
 			if err != nil {
-				return nil, err
+				return row{}, err
 			}
-			if !res.OK() {
-				return nil, fmt.Errorf("experiments: E11 %s run failed", name)
+			dbl, err := lpchar.OmegaStarCubesDoubling(m, arena)
+			if err != nil {
+				return row{}, err
 			}
-			msgs[i] = res.Messages
-		}
-		t.AddRow(name, full, dbl, dbl/full, msgs[0], msgs[1],
-			float64(msgs[1])/math.Max(float64(msgs[0]), 1))
+			char, err := offline.OmegaC(m, arena)
+			if err != nil {
+				return row{}, err
+			}
+			seq, err := demand.SequenceOf(m, demand.OrderShuffled, rng)
+			if err != nil {
+				return row{}, err
+			}
+			wcap := float64(4*9+2) * math.Max(char.Omega, 1)
+			var msgs [2]int64
+			for i, monitoring := range []bool{false, true} {
+				res, err := w.Episode(online.Options{
+					Arena: arena, CubeSide: char.Side, Capacity: wcap,
+					Seed: seed, Monitoring: monitoring,
+				}, seq)
+				if err != nil {
+					return row{}, err
+				}
+				if !res.OK() {
+					return row{}, fmt.Errorf("experiments: E11 %s run failed", name)
+				}
+				msgs[i] = res.Messages
+			}
+			return row{full: full, dbl: dbl, msgs: msgs}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		t.AddRow(names[i], r.full, r.dbl, r.dbl/r.full, r.msgs[0], r.msgs[1],
+			float64(r.msgs[1])/math.Max(float64(r.msgs[0]), 1))
 	}
 	return t, nil
 }
@@ -84,7 +91,7 @@ func E11Ablations(n int, jobs int64, seed int64) (*Table, error) {
 // fraction of vehicles silently fails to initiate replacement searches upon
 // exhaustion, and the served fraction is measured with the monitoring ring
 // on and off. The thesis' claim: monitoring makes scenario 2 harmless.
-func E13Robustness(fractions []float64, seed int64) (*Table, error) {
+func E13Robustness(fractions []float64, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		ID:    "E13",
 		Title: "failure robustness (Section 3.2.5 scenario 2)",
@@ -94,52 +101,57 @@ func E13Robustness(fractions []float64, seed int64) (*Table, error) {
 	}
 	const n = 6
 	arena := grid.MustNew(n, n)
-	// The geometry never changes across the sweep; build it once.
-	part, err := online.NewPartition(arena, n)
+	// The geometry never changes across the sweep, so every scenario after a
+	// worker's first warm-resets one pooled runner — ResetEpisode re-applies
+	// the per-fraction FailInitiate map without rebuilding anything.
+	const jobCount = 50
+	type row struct {
+		served  [2]int64
+		rescues int64
+	}
+	rows, err := sweep.Map(sweep.Config{Workers: workers}, fractions,
+		func(w *sweep.Worker, frac float64, _ int) (row, error) {
+			if frac < 0 || frac > 1 {
+				return row{}, fmt.Errorf("experiments: fraction %v outside [0,1]", frac)
+			}
+			rng := rand.New(rand.NewSource(seed))
+			fail := map[grid.Point]bool{}
+			for _, p := range arena.Bounds().Points() {
+				if rng.Float64() < frac {
+					fail[p] = true
+				}
+			}
+			capacity := 14.0 // > cube diameter + serve reserve for 6x6
+			hot := grid.P(2, 2)
+			jobs := make([]grid.Point, jobCount)
+			for i := range jobs {
+				jobs[i] = hot
+			}
+			seq := demand.NewSequence(jobs)
+			var out row
+			for i, monitoring := range []bool{false, true} {
+				res, err := w.Episode(online.Options{
+					Arena: arena, CubeSide: n, Capacity: capacity,
+					Seed: seed, Monitoring: monitoring, FailInitiate: fail,
+				}, seq)
+				if err != nil {
+					return row{}, err
+				}
+				out.served[i] = res.Served
+				if monitoring {
+					out.rescues = res.MonitorRescues
+				}
+			}
+			return out, nil
+		})
 	if err != nil {
 		return nil, err
 	}
-	for _, frac := range fractions {
-		if frac < 0 || frac > 1 {
-			return nil, fmt.Errorf("experiments: fraction %v outside [0,1]", frac)
-		}
-		rng := rand.New(rand.NewSource(seed))
-		fail := map[grid.Point]bool{}
-		for _, p := range arena.Bounds().Points() {
-			if rng.Float64() < frac {
-				fail[p] = true
-			}
-		}
-		capacity := 14.0 // > cube diameter + serve reserve for 6x6
-		hot := grid.P(2, 2)
-		jobs := make([]grid.Point, 50)
-		for i := range jobs {
-			jobs[i] = hot
-		}
-		seq := demand.NewSequence(jobs)
-		var served [2]int64
-		var rescues int64
-		for i, monitoring := range []bool{false, true} {
-			r, err := online.NewRunner(online.Options{
-				Arena: arena, CubeSide: n, Partition: part, Capacity: capacity,
-				Seed: seed, Monitoring: monitoring, FailInitiate: fail,
-			})
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.Run(seq)
-			if err != nil {
-				return nil, err
-			}
-			served[i] = res.Served
-			if monitoring {
-				rescues = res.MonitorRescues
-			}
-		}
-		t.AddRow(frac,
-			fmt.Sprintf("%d/%d", served[0], len(jobs)),
-			fmt.Sprintf("%d/%d", served[1], len(jobs)),
-			rescues)
+	for i, r := range rows {
+		t.AddRow(fractions[i],
+			fmt.Sprintf("%d/%d", r.served[0], jobCount),
+			fmt.Sprintf("%d/%d", r.served[1], jobCount),
+			r.rescues)
 	}
 	return t, nil
 }

@@ -75,7 +75,7 @@ func TestE3PointStrategyFeasibleAndCbrtScaling(t *testing.T) {
 }
 
 func TestE4AllTrialsAgree(t *testing.T) {
-	tbl, err := E4Duality(10, 7)
+	tbl, err := E4Duality(10, 7, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +88,7 @@ func TestE4AllTrialsAgree(t *testing.T) {
 }
 
 func TestE5RatiosWithinBound(t *testing.T) {
-	tbl, err := E5ApproxQuality(32, 800, 11)
+	tbl, err := E5ApproxQuality(32, 800, 11, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,7 +116,7 @@ func TestE6RoughlyLinear(t *testing.T) {
 }
 
 func TestE7WonWithinTheoremBound(t *testing.T) {
-	tbl, err := E7Online(8, 80, 13)
+	tbl, err := E7Online(8, 80, 13, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestE10ConvoyGainGrowsWithN(t *testing.T) {
 }
 
 func TestAllQuickRunsEverything(t *testing.T) {
-	tables, err := All(true)
+	tables, err := All(true, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -201,7 +201,7 @@ func TestAllQuickRunsEverything(t *testing.T) {
 }
 
 func TestE13MonitoringServesEverything(t *testing.T) {
-	tbl, err := E13Robustness([]float64{0, 1}, 5)
+	tbl, err := E13Robustness([]float64{0, 1}, 5, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestE13MonitoringServesEverything(t *testing.T) {
 }
 
 func TestE11DoublingWithinFactorTwo(t *testing.T) {
-	tbl, err := E11Ablations(8, 80, 3)
+	tbl, err := E11Ablations(8, 80, 3, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -268,5 +268,34 @@ func TestBisect(t *testing.T) {
 	root := bisect(func(x float64) float64 { return x*x - 9 }, 0, 1, 1e-9)
 	if root < 2.999999 || root > 3.000001 {
 		t.Errorf("bisect root %v", root)
+	}
+}
+
+// TestSweepExperimentsDeterministicAcrossWorkerCounts pins the sweep
+// rewrite's contract on every sweep-built experiment: the rendered table is
+// byte-identical for workers=1 and workers=8.
+func TestSweepExperimentsDeterministicAcrossWorkerCounts(t *testing.T) {
+	builders := map[string]func(workers int) (*Table, error){
+		"E4":  func(w int) (*Table, error) { return E4Duality(10, 7, w) },
+		"E5":  func(w int) (*Table, error) { return E5ApproxQuality(16, 200, 11, w) },
+		"E7":  func(w int) (*Table, error) { return E7Online(8, 80, 13, w) },
+		"E11": func(w int) (*Table, error) { return E11Ablations(8, 80, 3, w) },
+		"E13": func(w int) (*Table, error) { return E13Robustness([]float64{0, 0.5, 1}, 5, w) },
+	}
+	for id, build := range builders {
+		t.Run(id, func(t *testing.T) {
+			serial, err := build(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			wide, err := build(8)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if serial.Markdown() != wide.Markdown() {
+				t.Errorf("%s drifted between workers=1 and workers=8:\n--- w=1\n%s\n--- w=8\n%s",
+					id, serial.Markdown(), wide.Markdown())
+			}
+		})
 	}
 }

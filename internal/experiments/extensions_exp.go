@@ -96,7 +96,10 @@ func E10Transfers(lineLens []int, d int64) (*Table, error) {
 // All runs every experiment with the default deterministic parameters used
 // by EXPERIMENTS.md and returns the tables in index order. quick shrinks the
 // instance sizes (used by tests; the full set runs in cmd/experiments).
-func All(quick bool) ([]*Table, error) {
+// workers is the sweep width threaded through the sweep-built experiments
+// (E4, E5, E7, E11, E13): every table is byte-identical for every width, so
+// it only changes wall-clock (cmd/experiments pins a default).
+func All(quick bool, workers int) ([]*Table, error) {
 	var (
 		squareSides = []int{4, 16, 64, 256}
 		lineDs      = []int64{8, 32, 128, 512}
@@ -128,16 +131,16 @@ func All(quick bool) ([]*Table, error) {
 		func() (*Table, error) { return E1Square(squareSides, 32) },
 		func() (*Table, error) { return E2Line(lineDs, 256) },
 		func() (*Table, error) { return E3Point(pointDs) },
-		func() (*Table, error) { return E4Duality(e4Trials, seed) },
-		func() (*Table, error) { return E5ApproxQuality(e5N, e5Jobs, seed) },
+		func() (*Table, error) { return E4Duality(e4Trials, seed, workers) },
+		func() (*Table, error) { return E5ApproxQuality(e5N, e5Jobs, seed, workers) },
 		func() (*Table, error) { return E6Runtime(e6Sizes, seed) },
-		func() (*Table, error) { return E7Online(e7N, e7Jobs, seed) },
+		func() (*Table, error) { return E7Online(e7N, e7Jobs, seed, workers) },
 		func() (*Table, error) { return E8Diffusion(e8Sides, seed) },
 		func() (*Table, error) { return E9Broken(e9R1s) },
 		func() (*Table, error) { return E10Transfers(e10Lens, e10D) },
-		func() (*Table, error) { return E11Ablations(e7N, e7Jobs, seed) },
+		func() (*Table, error) { return E11Ablations(e7N, e7Jobs, seed, workers) },
 		func() (*Table, error) { return E12DimensionSweep(4000) },
-		func() (*Table, error) { return E13Robustness([]float64{0, 0.25, 0.5, 1}, seed) },
+		func() (*Table, error) { return E13Robustness([]float64{0, 0.25, 0.5, 1}, seed, workers) },
 	} {
 		tbl, err := build()
 		if err != nil {

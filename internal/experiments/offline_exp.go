@@ -10,13 +10,18 @@ import (
 	"repro/internal/grid"
 	"repro/internal/lpchar"
 	"repro/internal/offline"
+	"repro/internal/sweep"
 )
 
 // E4Duality regenerates the Lemma 2.2.1-2.2.3 duality chain empirically: on
 // random small instances, the flow-computed LP (2.1) value must equal the
 // closed form max_T sum(d)/|N_r(T)| over all subsets, with the box-family
 // maximum sandwiched below.
-func E4Duality(trials int, seed int64) (*Table, error) {
+//
+// The trials share one rng stream, so the instances are drawn up front —
+// exactly the draws the serial loop made — and only the LP evaluations (the
+// expensive, purely deterministic part) fan out across the sweep.
+func E4Duality(trials int, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		ID:    "E4",
 		Title: "LP (2.1) duality chain (Lemmas 2.2.1-2.2.3)",
@@ -24,8 +29,14 @@ func E4Duality(trials int, seed int64) (*Table, error) {
 			"max_T sum(d)/|N_r(T)|", "max over boxes", "flow == subsets"},
 		Notes: "Lemma 2.2.2 says columns 5 and 6 are equal; boxes (Cor 2.2.6's family) lower-bound them.",
 	}
+	type instance struct {
+		dim int
+		m   *demand.Map
+		r   int
+	}
 	rng := rand.New(rand.NewSource(seed))
-	for trial := 0; trial < trials; trial++ {
+	insts := make([]instance, trials)
+	for trial := range insts {
 		dim := 1 + rng.Intn(2)
 		m := demand.NewMap(dim)
 		points := 2 + rng.Intn(5)
@@ -38,21 +49,35 @@ func E4Duality(trials int, seed int64) (*Table, error) {
 				return nil, err
 			}
 		}
-		r := rng.Intn(4)
-		flowV, err := lpchar.FlowValue(m, r)
-		if err != nil {
-			return nil, err
-		}
-		subsetV, err := lpchar.SubsetValue(m, r)
-		if err != nil {
-			return nil, err
-		}
-		boxV, _, err := lpchar.MaxOverBoxes(m, r)
-		if err != nil {
-			return nil, err
-		}
-		equal := math.Abs(flowV-subsetV) <= 1e-6*math.Max(1, subsetV)
-		t.AddRow(trial, dim, r, m.SupportSize(), flowV, subsetV, boxV, equal)
+		insts[trial] = instance{dim: dim, m: m, r: rng.Intn(4)}
+	}
+	type verdict struct {
+		flowV, subsetV, boxV float64
+		equal                bool
+	}
+	rows, err := sweep.Map(sweep.Config{Workers: workers}, insts,
+		func(_ *sweep.Worker, in instance, _ int) (verdict, error) {
+			flowV, err := lpchar.FlowValue(in.m, in.r)
+			if err != nil {
+				return verdict{}, err
+			}
+			subsetV, err := lpchar.SubsetValue(in.m, in.r)
+			if err != nil {
+				return verdict{}, err
+			}
+			boxV, _, err := lpchar.MaxOverBoxes(in.m, in.r)
+			if err != nil {
+				return verdict{}, err
+			}
+			equal := math.Abs(flowV-subsetV) <= 1e-6*math.Max(1, subsetV)
+			return verdict{flowV: flowV, subsetV: subsetV, boxV: boxV, equal: equal}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for trial, v := range rows {
+		in := insts[trial]
+		t.AddRow(trial, in.dim, in.r, in.m.SupportSize(), v.flowV, v.subsetV, v.boxV, v.equal)
 	}
 	return t, nil
 }
@@ -86,7 +111,7 @@ func workload(name string, arena *grid.Grid, rng *rand.Rand, jobs int64) (*deman
 // Lemma 2.2.5 / Section 2.3). Ratio columns must stay below the analytic
 // constants: schedule/omega_c <= 2*3^l+l = 20 and Alg1 is a
 // 2(2*3^l+l)-approximation.
-func E5ApproxQuality(n int, jobs int64, seed int64) (*Table, error) {
+func E5ApproxQuality(n int, jobs int64, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		ID:    "E5",
 		Title: fmt.Sprintf("offline approximation quality (n=%d, %d jobs)", n, jobs),
@@ -96,29 +121,44 @@ func E5ApproxQuality(n int, jobs int64, seed int64) (*Table, error) {
 	}
 	arena := grid.MustNew(n, n)
 	bound := float64(2*9 + 2)
-	for _, name := range []string{"uniform", "clusters", "zipf", "point", "line"} {
-		rng := rand.New(rand.NewSource(seed))
-		m, err := workload(name, arena, rng, jobs)
-		if err != nil {
-			return nil, err
-		}
-		char, err := offline.OmegaC(m, arena)
-		if err != nil {
-			return nil, err
-		}
-		res, err := offline.Algorithm1(m, arena)
-		if err != nil {
-			return nil, err
-		}
-		sched, err := offline.BuildSchedule(m, arena)
-		if err != nil {
-			return nil, err
-		}
-		if _, err := offline.VerifySchedule(m, sched, sched.W); err != nil {
-			return nil, fmt.Errorf("experiments: %s schedule invalid: %w", name, err)
-		}
-		ratio := sched.W / math.Max(char.Omega, 1)
-		t.AddRow(name, char.Omega, res.W, res.Branch.String(), sched.W, ratio, bound)
+	// Each workload re-seeds its own rng, so the scenarios are independent
+	// pure functions of their name — the sweep's unit of fan-out.
+	type row struct {
+		omega, alg1W float64
+		branch       string
+		schedW       float64
+	}
+	names := []string{"uniform", "clusters", "zipf", "point", "line"}
+	rows, err := sweep.Map(sweep.Config{Workers: workers}, names,
+		func(_ *sweep.Worker, name string, _ int) (row, error) {
+			rng := rand.New(rand.NewSource(seed))
+			m, err := workload(name, arena, rng, jobs)
+			if err != nil {
+				return row{}, err
+			}
+			char, err := offline.OmegaC(m, arena)
+			if err != nil {
+				return row{}, err
+			}
+			res, err := offline.Algorithm1(m, arena)
+			if err != nil {
+				return row{}, err
+			}
+			sched, err := offline.BuildSchedule(m, arena)
+			if err != nil {
+				return row{}, err
+			}
+			if _, err := offline.VerifySchedule(m, sched, sched.W); err != nil {
+				return row{}, fmt.Errorf("experiments: %s schedule invalid: %w", name, err)
+			}
+			return row{omega: char.Omega, alg1W: res.W, branch: res.Branch.String(), schedW: sched.W}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		ratio := r.schedW / math.Max(r.omega, 1)
+		t.AddRow(names[i], r.omega, r.alg1W, r.branch, r.schedW, ratio, bound)
 	}
 	return t, nil
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/grid"
 	"repro/internal/offline"
 	"repro/internal/online"
+	"repro/internal/sweep"
 )
 
 // e7SearchWorkers is the pinned concurrency of E7's capacity searches.
@@ -18,7 +19,7 @@ const e7SearchWorkers = 4
 // E7Online measures the empirical Won (smallest capacity at which the
 // Chapter 3 strategy serves everything) against omega_c and the Theorem
 // 1.4.2 guarantee (4*3^l+l)*omega_c, plus the greedy dispatcher baseline.
-func E7Online(n int, jobs int64, seed int64) (*Table, error) {
+func E7Online(n int, jobs int64, seed int64, workers int) (*Table, error) {
 	t := &Table{
 		ID:    "E7",
 		Title: fmt.Sprintf("online vs offline capacity (n=%d, %d jobs)", n, jobs),
@@ -27,40 +28,55 @@ func E7Online(n int, jobs int64, seed int64) (*Table, error) {
 		Notes: "Theorem 1.4.2: Won = Theta(Woff); the measured ratio stays below the 38x analytic constant (and far below it in practice).",
 	}
 	arena := grid.MustNew(n, n)
-	for _, name := range []string{"uniform", "clusters", "point", "line"} {
-		rng := rand.New(rand.NewSource(seed))
-		m, err := workload(name, arena, rng, jobs)
-		if err != nil {
-			return nil, err
-		}
-		char, err := offline.OmegaC(m, arena)
-		if err != nil {
-			return nil, err
-		}
-		seq, err := demand.SequenceOf(m, demand.OrderShuffled, rng)
-		if err != nil {
-			return nil, err
-		}
-		// Fixed worker count: the parallel search's answer depends on the
-		// probe grid, so pinning it keeps tables machine-independent. The
-		// prebuilt partition is shared by every probe runner of the search.
-		part, err := online.NewPartition(arena, char.Side)
-		if err != nil {
-			return nil, err
-		}
-		won, err := online.MinCapacityParallel(seq, online.Options{
-			Arena: arena, CubeSide: char.Side, Partition: part, Seed: seed,
-			SearchWorkers: e7SearchWorkers,
-		}, 1, 0.05)
-		if err != nil {
-			return nil, err
-		}
-		greedyW, err := baseline.GreedyMinCapacity(seq, arena, 0.05)
-		if err != nil {
-			return nil, err
-		}
-		base := math.Max(char.Omega, 1)
-		t.AddRow(name, char.Omega, won, won/base, float64(4*9+2)*base, greedyW)
+	// One scenario per workload; each runs its own pinned-width capacity
+	// search (the search owns its probe runners, so the sweep worker's pool
+	// is not involved — fan-out here is across workloads).
+	type row struct {
+		omega, won, greedyW float64
+	}
+	names := []string{"uniform", "clusters", "point", "line"}
+	rows, err := sweep.Map(sweep.Config{Workers: workers}, names,
+		func(_ *sweep.Worker, name string, _ int) (row, error) {
+			rng := rand.New(rand.NewSource(seed))
+			m, err := workload(name, arena, rng, jobs)
+			if err != nil {
+				return row{}, err
+			}
+			char, err := offline.OmegaC(m, arena)
+			if err != nil {
+				return row{}, err
+			}
+			seq, err := demand.SequenceOf(m, demand.OrderShuffled, rng)
+			if err != nil {
+				return row{}, err
+			}
+			// Fixed search worker count: the parallel search's answer depends
+			// on the probe grid, so pinning it keeps tables machine-
+			// independent. The prebuilt partition is shared by every probe
+			// runner of the search.
+			part, err := online.NewPartition(arena, char.Side)
+			if err != nil {
+				return row{}, err
+			}
+			won, err := online.MinCapacityParallel(seq, online.Options{
+				Arena: arena, CubeSide: char.Side, Partition: part, Seed: seed,
+				SearchWorkers: e7SearchWorkers,
+			}, 1, 0.05)
+			if err != nil {
+				return row{}, err
+			}
+			greedyW, err := baseline.GreedyMinCapacity(seq, arena, 0.05)
+			if err != nil {
+				return row{}, err
+			}
+			return row{omega: char.Omega, won: won, greedyW: greedyW}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	for i, r := range rows {
+		base := math.Max(r.omega, 1)
+		t.AddRow(names[i], r.omega, r.won, r.won/base, float64(4*9+2)*base, r.greedyW)
 	}
 	return t, nil
 }

@@ -135,3 +135,38 @@ func BenchmarkOnlineRunWarm(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkOnlineRunMonitoringWarm is BenchmarkOnlineRunMonitoring on one
+// long-lived runner reset per episode — the sweep engine's steady state for
+// monitored scenarios. With the shared boxed round/existing messages and the
+// reused heard maps, the per-arrival monitoring waves allocate nothing.
+func BenchmarkOnlineRunMonitoringWarm(b *testing.B) {
+	arena := grid.MustNew(8, 8)
+	jobs := make([]grid.Point, 60)
+	for i := range jobs {
+		jobs[i] = grid.P(4, 4)
+	}
+	seq := demand.NewSequence(jobs)
+	r, err := NewRunner(Options{
+		Arena: arena, CubeSide: 8, Capacity: 24, Seed: 1, Monitoring: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if i > 0 {
+			if err := r.Reset(24, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		res, err := r.Run(seq)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.OK() {
+			b.Fatalf("run failed: %v", res.Failures[0])
+		}
+	}
+}

@@ -117,6 +117,22 @@ type Runner struct {
 	deadEvents []deadEvent
 	nextDead   int
 
+	// Shared boxed protocol messages, built once per runner (same trick as
+	// the diffusion engine's shared Query/Reply). The real allocation win
+	// is existingMsg: an existing{PairID} carries payload, so re-boxing it
+	// per heartbeat answer used to cost one heap object per active pair per
+	// round. hbMsg/ckMsg box zero-size structs — which the compiler already
+	// boxes allocation-free — and are kept only so every monitoring message
+	// flows through one uniform shared-box scheme. Safe because boxed
+	// messages are never mutated and message identity never enters the
+	// scheduler's RNG stream.
+	hbMsg       sim.Message
+	ckMsg       sim.Message
+	existingMsg []sim.Message // pair index -> boxed existing{PairID}
+	// allNodes is the arena-index-ordered id list the monitoring waves
+	// inject to (the order is part of the deterministic schedule).
+	allNodes []sim.NodeID
+
 	served         int64
 	failures       []Failure
 	maxEnergy      float64
@@ -135,6 +151,10 @@ type Runner struct {
 // ErrRunnerUsed is returned by Run when the runner has already played a
 // sequence and has not been Reset since.
 var ErrRunnerUsed = errors.New("online: Runner already ran; call Reset before running again")
+
+// defaultMaxSteps is the per-quiescence delivery budget when Options.MaxSteps
+// is zero.
+const defaultMaxSteps = 50_000_000
 
 func (r *Runner) recordFailure(pos grid.Point, reason string) {
 	r.failures = append(r.failures, Failure{Pos: pos, Reason: reason})
@@ -181,7 +201,7 @@ func NewRunner(opts Options) (*Runner, error) {
 		}
 	}
 	if opts.MaxSteps == 0 {
-		opts.MaxSteps = 50_000_000
+		opts.MaxSteps = defaultMaxSteps
 	}
 	r := &Runner{
 		opts:           opts,
@@ -249,6 +269,16 @@ func NewRunner(opts Options) (*Runner, error) {
 			return nil, err
 		}
 	}
+	r.hbMsg = heartbeatRound{}
+	r.ckMsg = checkRound{}
+	r.existingMsg = make([]sim.Message, len(part.Pairs()))
+	for i := range r.existingMsg {
+		r.existingMsg[i] = existing{PairID: i}
+	}
+	r.allNodes = make([]sim.NodeID, opts.Arena.Len())
+	for i := range r.allNodes {
+		r.allNodes[i] = sim.NodeID(i)
+	}
 	r.restoreInitialState()
 	return r, nil
 }
@@ -269,7 +299,10 @@ func (r *Runner) restoreInitialState() {
 		}
 		v.searchPair = 0
 		v.searchDest = grid.Point{}
-		v.heard = nil
+		// Clear, don't drop: an empty map is indistinguishable from the nil
+		// one a fresh vehicle starts with, and keeping the buckets makes
+		// warm monitored episodes allocation-free.
+		clear(v.heard)
 		v.eng.Reset()
 	}
 	// Activate the service vertex of every pair; fall back to the white
@@ -315,6 +348,61 @@ func (r *Runner) Reset(capacity float64, seed int64) error {
 	r.opts.Capacity = capacity
 	r.opts.Seed = seed
 	r.net.Reset(seed)
+	r.restoreInitialState()
+	return nil
+}
+
+// ResetEpisode re-arms the runner for a new episode whose options may differ
+// in everything *except* geometry: capacity, seed, the failure-injection
+// maps (FailInitiate, DeadBeforeArrival, Longevity), Monitoring, MaxSteps,
+// and Tracer are re-applied in place, while the partition, vehicles,
+// diffusion engines, and the network's link tables and ring buffers are all
+// kept. Arena (pointer identity) and cube side must match what the runner
+// was built with — a geometry change requires a new Runner, which is exactly
+// the rebuild-vs-reset split the sweep layer's Pool keys on. After a
+// successful ResetEpisode the runner behaves bit-for-bit like
+// NewRunner(opts); on error the runner is left unchanged.
+func (r *Runner) ResetEpisode(opts Options) error {
+	if opts.Arena != r.opts.Arena {
+		return errors.New("online: ResetEpisode with a different arena; build a new Runner")
+	}
+	if opts.CubeSide != 0 && opts.CubeSide != r.part.cubeSide {
+		return fmt.Errorf("online: ResetEpisode cube side %d, runner was built with %d",
+			opts.CubeSide, r.part.cubeSide)
+	}
+	if opts.Partition != nil && opts.Partition != r.part &&
+		(opts.Partition.arena != r.part.arena || opts.Partition.cubeSide != r.part.cubeSide) {
+		return errors.New("online: ResetEpisode Partition differs in geometry")
+	}
+	if opts.Capacity <= 0 {
+		return fmt.Errorf("online: capacity %v must be positive", opts.Capacity)
+	}
+	// Validate before mutating anything, so a rejected episode cannot leave
+	// the runner half-updated.
+	for _, v := range r.vehicles {
+		if p, ok := opts.Longevity[v.home]; ok && (p < 0 || p > 1) {
+			return fmt.Errorf("online: longevity %v at %v outside [0,1]", p, v.home)
+		}
+	}
+	if opts.MaxSteps == 0 {
+		opts.MaxSteps = defaultMaxSteps
+	}
+	// Re-densify the failure injections exactly as NewRunner does.
+	for _, v := range r.vehicles {
+		longevity := 1.0
+		if p, ok := opts.Longevity[v.home]; ok {
+			longevity = p
+		}
+		v.longevity = longevity
+		v.failInitiate = opts.FailInitiate[v.home]
+	}
+	r.deadEvents = densifyDeadEvents(opts.Arena, opts.DeadBeforeArrival)
+	// Geometry is interchangeable by construction (a Partition is a
+	// deterministic function of arena and cube side), so keep the runner's
+	// own — the per-vehicle neighbor lists already point into it.
+	opts.Partition = r.part
+	r.opts = opts
+	r.net.Reset(opts.Seed)
 	r.restoreInitialState()
 	return nil
 }
@@ -410,20 +498,16 @@ func (r *Runner) quiesce() error {
 
 // monitorRound performs one heartbeat exchange followed by one check pass
 // (the run-to-quiescence analogue of "send existing messages periodically;
-// decide the neighbor is done after a timeout").
+// decide the neighbor is done after a timeout"). Both waves batch-inject the
+// runner's shared boxed round message in arena-index order (identical to
+// point enumeration order; a map iteration here would break run
+// reproducibility by perturbing the delivery scheduler's RNG stream).
 func (r *Runner) monitorRound() error {
-	// Inject in arena-index order (identical to point enumeration order; a
-	// map iteration here would break run reproducibility by perturbing the
-	// delivery scheduler's RNG stream).
-	for idx := int64(0); idx < r.opts.Arena.Len(); idx++ {
-		r.net.Inject(sim.NodeID(idx), heartbeatRound{})
-	}
+	r.net.InjectMany(r.allNodes, r.hbMsg)
 	if err := r.quiesce(); err != nil {
 		return err
 	}
-	for idx := int64(0); idx < r.opts.Arena.Len(); idx++ {
-		r.net.Inject(sim.NodeID(idx), checkRound{})
-	}
+	r.net.InjectMany(r.allNodes, r.ckMsg)
 	return r.quiesce()
 }
 

@@ -255,14 +255,17 @@ func (v *vehicle) onHeartbeat(ctx *sim.Context) {
 	if watcher == v.id {
 		return
 	}
-	ctx.Send(watcher, existing{PairID: v.pairID})
+	// The runner keeps one boxed existing message per pair; reusing it makes
+	// the heartbeat wave allocation-free (message content is identical, so
+	// the delivery schedule cannot tell).
+	ctx.Send(watcher, v.r.existingMsg[v.pairID])
 }
 
 // onCheck inspects the heartbeats gathered since the last round and starts
 // replacement searches for watched pairs that went silent.
 func (v *vehicle) onCheck(ctx *sim.Context) {
 	if v.state != Active || v.r.pairActive[v.pairID] != v.id {
-		v.heard = nil
+		clear(v.heard)
 		return
 	}
 	// Which pair does this vehicle watch? The ring is "pair i watches pair
@@ -281,5 +284,7 @@ func (v *vehicle) onCheck(ctx *sim.Context) {
 			fmt.Sprintf("pair %d went silent", watched))
 		v.startReplacementSearch(ctx, watched, v.r.part.Pairs()[watched].ServicePos())
 	}
-	v.heard = nil
+	// Clear rather than drop the map: the watcher re-fills it every round,
+	// so reusing the buckets makes steady-state monitoring allocation-free.
+	clear(v.heard)
 }

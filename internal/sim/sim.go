@@ -202,6 +202,21 @@ func (n *Network) Inject(to NodeID, msg Message) {
 	n.enqueue(None, to, msg)
 }
 
+// InjectMany enqueues one (shared) message to every listed node, in order.
+// It is exactly equivalent — by construction, it delegates to the same
+// enqueue path — to calling Inject(id, msg) for each id: same queue
+// contents, same ready-list order, hence the same delivery schedule. The
+// online layer's monitoring rounds use it for their two full-arena waves,
+// injecting one boxed message over a cached id list instead of re-boxing
+// per cell. Note msg is enqueued by reference into every mailbox, so it
+// must not be mutated while in flight (the same contract shared boxed
+// messages already obey).
+func (n *Network) InjectMany(ids []NodeID, msg Message) {
+	for _, to := range ids {
+		n.enqueue(None, to, msg)
+	}
+}
+
 func (n *Network) enqueue(from, to NodeID, msg Message) {
 	if to < 0 {
 		if n.badSend == nil {

@@ -184,3 +184,66 @@ func TestStepOnEmptyNetwork(t *testing.T) {
 		t.Errorf("empty step: %v %v", progressed, err)
 	}
 }
+
+// TestInjectManyEquivalentToInjectLoop pins the InjectMany contract: same
+// queue contents, same ready-list order, same sent counter — and therefore
+// the same delivery schedule — as calling Inject per id.
+func TestInjectManyEquivalentToInjectLoop(t *testing.T) {
+	ids := []NodeID{3, 0, 2, 1, 3, 0}
+	build := func(batch bool) (*Network, []*silentProc) {
+		n := NewNetwork(77)
+		procs := make([]*silentProc, 4)
+		for i := range procs {
+			procs[i] = &silentProc{}
+			if err := n.Add(NodeID(i), procs[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if batch {
+			n.InjectMany(ids, "wave")
+		} else {
+			for _, id := range ids {
+				n.Inject(id, "wave")
+			}
+		}
+		return n, procs
+	}
+	nb, pb := build(true)
+	nl, pl := build(false)
+	if nb.Sent() != nl.Sent() || nb.Sent() != int64(len(ids)) {
+		t.Fatalf("sent %d (batch) vs %d (loop), want %d", nb.Sent(), nl.Sent(), len(ids))
+	}
+	// Same seed + same enqueue order => the randomized delivery schedules
+	// replay identically, delivering per-process streams in the same order.
+	if err := nb.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if err := nl.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	for i := range pb {
+		if len(pb[i].got) != len(pl[i].got) {
+			t.Fatalf("node %d: %d msgs (batch) vs %d (loop)", i, len(pb[i].got), len(pl[i].got))
+		}
+	}
+	if nb.Delivered() != nl.Delivered() {
+		t.Errorf("delivered %d vs %d", nb.Delivered(), nl.Delivered())
+	}
+}
+
+// TestInjectManyBadIDLatches pins that a negative id in the batch latches
+// the bad-send error exactly like Inject, while later ids still enqueue.
+func TestInjectManyBadIDLatches(t *testing.T) {
+	n := NewNetwork(1)
+	p := &silentProc{}
+	if err := n.Add(0, p); err != nil {
+		t.Fatal(err)
+	}
+	n.InjectMany([]NodeID{0, -1, 0}, "x")
+	if n.Sent() != 2 {
+		t.Errorf("sent = %d, want 2 (negative id skipped)", n.Sent())
+	}
+	if err := n.Run(100); err == nil {
+		t.Error("bad-send latch should surface on Run")
+	}
+}
