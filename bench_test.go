@@ -96,6 +96,29 @@ func BenchmarkE6Alg1Runtime(b *testing.B) {
 	}
 }
 
+// BenchmarkSolveOffline times the full public offline pipeline —
+// characterize, estimate, construct, verify — which since the warm-start LP
+// core densifies the demand exactly once and characterizes once.
+func BenchmarkSolveOffline(b *testing.B) {
+	arena := grid.MustNew(64, 64)
+	rng := rand.New(rand.NewSource(2008))
+	inner, err := grid.NewBox(2, grid.P(16, 16), grid.P(47, 47))
+	if err != nil {
+		b.Fatal(err)
+	}
+	m, err := demand.Uniform(rng, inner, 3000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := SolveOffline(m, arena); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkE7OnlineVsOffline regenerates the Theorem 1.4.2 measurement.
 func BenchmarkE7OnlineVsOffline(b *testing.B) {
 	benchTable(b, func() (*experiments.Table, error) {

@@ -70,18 +70,24 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "\ndemand heat map:\n%s\n", hm)
 	}
 
-	char, err := offline.OmegaC(m, arena)
+	// One dense view drives the whole offline pipeline: characterize once,
+	// estimate, and construct from the same characterization.
+	dense, err := offline.NewDense(m, arena)
+	if err != nil {
+		return err
+	}
+	char, err := dense.OmegaC()
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "omega_c (Cor 2.2.7 lower-bound characterization): %.4g (cube side %d)\n",
 		char.Omega, char.Side)
-	if res, err := offline.Algorithm1(m, arena); err == nil {
+	if res, err := dense.Algorithm1(); err == nil {
 		fmt.Fprintf(out, "Algorithm 1 capacity estimate: %.4g (branch %s)\n", res.W, res.Branch)
 	} else {
 		fmt.Fprintf(out, "Algorithm 1 skipped: %v\n", err)
 	}
-	sched, err := offline.BuildSchedule(m, arena)
+	sched, err := dense.BuildSchedule(char)
 	if err != nil {
 		return err
 	}

@@ -46,21 +46,18 @@ func run(args []string, out io.Writer) error {
 	if *workers < 1 {
 		return fmt.Errorf("-workers %d must be >= 1", *workers)
 	}
-	tables, err := experiments.All(*quick, *workers)
+	want := strings.ToUpper(strings.TrimSpace(*only))
+	// Only the selected experiment is computed (-run E7 does not pay for the
+	// other twelve).
+	tables, err := experiments.Some(want, *quick, *workers)
 	if err != nil {
 		return err
 	}
-	want := strings.ToUpper(strings.TrimSpace(*only))
-	printed := 0
-	for _, t := range tables {
-		if want != "" && t.ID != want {
-			continue
-		}
-		fmt.Fprintln(out, t.Markdown())
-		printed++
-	}
-	if printed == 0 {
+	if len(tables) == 0 {
 		return fmt.Errorf("no experiment matches %q (valid: E1..E13)", *only)
+	}
+	for _, t := range tables {
+		fmt.Fprintln(out, t.Markdown())
 	}
 	return nil
 }

@@ -136,17 +136,25 @@ type OfflineSolution struct {
 }
 
 // SolveOffline runs the full offline pipeline of Chapter 2 on a demand
-// function: characterize, estimate, construct, and verify.
+// function: characterize, estimate, construct, and verify. The demand is
+// densified exactly once (offline.Dense): the characterization, the
+// Algorithm 1 estimate, and the schedule construction all share one value
+// array and summed-area table, and the schedule is built from the already-
+// computed characterization instead of re-deriving it.
 func SolveOffline(m *Demand, arena *Arena) (*OfflineSolution, error) {
-	char, err := offline.OmegaC(m, arena)
+	d, err := offline.NewDense(m, arena)
+	if err != nil {
+		return nil, err
+	}
+	char, err := d.OmegaC()
 	if err != nil {
 		return nil, err
 	}
 	sol := &OfflineSolution{OmegaC: char.Omega, CubeSide: char.Side}
-	if res, err := offline.Algorithm1(m, arena); err == nil {
+	if res, err := d.Algorithm1(); err == nil {
 		sol.Alg1W = res.W
 	}
-	sched, err := offline.BuildSchedule(m, arena)
+	sched, err := d.BuildSchedule(char)
 	if err != nil {
 		return nil, err
 	}
@@ -162,6 +170,21 @@ func SolveOffline(m *Demand, arena *Arena) (*OfflineSolution, error) {
 // demand's spatial spread; intended for small instances and validation.
 func ExactLowerBound(m *Demand) (float64, error) {
 	return lpchar.OmegaStarFlow(m)
+}
+
+// LPSolver is the reusable warm-start solver for the thesis' LP (2.1): built
+// once per (demand, radius), it answers any number of FeasibleAt capacity
+// probes construction-free (each probe rewrites only source capacities on
+// reset residual state), and Value() runs the exact bisection on warm
+// probes. Bind rebuilds it in place for a new instance, reusing all retained
+// storage — keep one per worker in custom sweeps, mirroring the
+// one-runner-per-worker rule of the online layer. Not safe for concurrent
+// use; results are bit-identical to fresh construction per probe.
+type LPSolver = lpchar.Solver
+
+// NewLPSolver builds a warm-reusable LP (2.1) solver for (m, r).
+func NewLPSolver(m *Demand, r int) (*LPSolver, error) {
+	return lpchar.NewSolver(m, r)
 }
 
 // NewOnlinePartition builds the online strategy's static geometry — the cube

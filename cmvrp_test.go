@@ -3,7 +3,11 @@ package cmvrp
 import (
 	"math"
 	"math/rand"
+	"reflect"
 	"testing"
+
+	"repro/internal/lpchar"
+	"repro/internal/offline"
 )
 
 func TestPublicOfflinePipeline(t *testing.T) {
@@ -31,6 +35,92 @@ func TestPublicOfflinePipeline(t *testing.T) {
 	}
 	if sol.Schedule.W < lb*(1-1e-6) {
 		t.Errorf("schedule W %v below exact omega* %v", sol.Schedule.W, lb)
+	}
+}
+
+// TestSolveOfflineSingleCharacterization is the regression test for the
+// double-OmegaC bug: SolveOffline characterizes once and feeds that
+// characterization to the schedule construction, and the result is
+// identical to running each stage standalone (which is what the old
+// characterize-twice pipeline did).
+func TestSolveOfflineSingleCharacterization(t *testing.T) {
+	arena, err := NewArena(16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	m, err := UniformDemand(rng, Box{Lo: P(4, 4), Hi: P(11, 11), Dim: 2}, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := SolveOffline(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	char, err := offline.OmegaC(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.OmegaC != char.Omega || sol.CubeSide != char.Side {
+		t.Errorf("solution characterization (%v, %d) != standalone (%v, %d)",
+			sol.OmegaC, sol.CubeSide, char.Omega, char.Side)
+	}
+	res, err := offline.Algorithm1(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Alg1W != res.W {
+		t.Errorf("solution Alg1W %v != standalone %v", sol.Alg1W, res.W)
+	}
+	sched, err := offline.BuildSchedule(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(sol.Schedule, sched) {
+		t.Error("solution schedule differs from standalone BuildSchedule")
+	}
+	if sol.Schedule.OmegaC != sol.OmegaC || sol.Schedule.CubeSide != sol.CubeSide {
+		t.Errorf("schedule characterization (%v, %d) drifted from solution (%v, %d)",
+			sol.Schedule.OmegaC, sol.Schedule.CubeSide, sol.OmegaC, sol.CubeSide)
+	}
+}
+
+// TestLPSolverFacade exercises the exported warm solver: probes match the
+// one-shot entry points bit-for-bit.
+func TestLPSolverFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m, err := UniformDemand(rng, mustBox(t), 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewLPSolver(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm, err := s.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := lpchar.FlowValue(m, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm != cold {
+		t.Errorf("LPSolver value %v != FlowValue %v", warm, cold)
+	}
+	if err := s.Bind(m, 3); err != nil {
+		t.Fatal(err)
+	}
+	rebound, err := s.Value()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coldR3, err := lpchar.FlowValue(m, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebound != coldR3 {
+		t.Errorf("rebound value %v != FlowValue %v", rebound, coldR3)
 	}
 }
 

@@ -106,12 +106,19 @@ func TestE6RoughlyLinear(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	perCellSmall := parseF(t, tbl.Rows[0][4])
-	perCellLarge := parseF(t, tbl.Rows[1][4])
+	perCellSmall := parseF(t, tbl.Rows[0][6])
+	perCellLarge := parseF(t, tbl.Rows[1][6])
 	// 16x the cells should not blow up per-cell cost by more than ~6x
 	// (cache effects allowed; superlinear algorithms would show 16x+).
 	if perCellLarge > 6*perCellSmall+50 {
 		t.Errorf("per-cell cost grew from %v to %v ns: not linear", perCellSmall, perCellLarge)
+	}
+	// The cold/warm column is informational wall-clock (asserting on it
+	// would flake on loaded hosts); warm ≡ cold *values* are pinned by
+	// offline.TestDenseSharedViewMatchesStandalone. Just check the column
+	// parses.
+	for _, row := range tbl.Rows {
+		parseF(t, row[5])
 	}
 }
 

@@ -100,6 +100,14 @@ func E10Transfers(lineLens []int, d int64) (*Table, error) {
 // (E4, E5, E7, E11, E13): every table is byte-identical for every width, so
 // it only changes wall-clock (cmd/experiments pins a default).
 func All(quick bool, workers int) ([]*Table, error) {
+	return Some("", quick, workers)
+}
+
+// Some is All restricted to one experiment id ("" runs everything): only the
+// selected experiment is computed, so cmd/experiments -run and the CI
+// single-experiment smoke steps don't pay for the other twelve. Returns an
+// empty slice for an unknown id.
+func Some(id string, quick bool, workers int) ([]*Table, error) {
 	var (
 		squareSides = []int{4, 16, 64, 256}
 		lineDs      = []int64{8, 32, 128, 512}
@@ -127,22 +135,28 @@ func All(quick bool, workers int) ([]*Table, error) {
 	}
 	const seed = 2008 // the thesis' year, for reproducibility flavor
 	var tables []*Table
-	for _, build := range []func() (*Table, error){
-		func() (*Table, error) { return E1Square(squareSides, 32) },
-		func() (*Table, error) { return E2Line(lineDs, 256) },
-		func() (*Table, error) { return E3Point(pointDs) },
-		func() (*Table, error) { return E4Duality(e4Trials, seed, workers) },
-		func() (*Table, error) { return E5ApproxQuality(e5N, e5Jobs, seed, workers) },
-		func() (*Table, error) { return E6Runtime(e6Sizes, seed) },
-		func() (*Table, error) { return E7Online(e7N, e7Jobs, seed, workers) },
-		func() (*Table, error) { return E8Diffusion(e8Sides, seed) },
-		func() (*Table, error) { return E9Broken(e9R1s) },
-		func() (*Table, error) { return E10Transfers(e10Lens, e10D) },
-		func() (*Table, error) { return E11Ablations(e7N, e7Jobs, seed, workers) },
-		func() (*Table, error) { return E12DimensionSweep(4000) },
-		func() (*Table, error) { return E13Robustness([]float64{0, 0.25, 0.5, 1}, seed, workers) },
+	for _, exp := range []struct {
+		id    string
+		build func() (*Table, error)
+	}{
+		{"E1", func() (*Table, error) { return E1Square(squareSides, 32) }},
+		{"E2", func() (*Table, error) { return E2Line(lineDs, 256) }},
+		{"E3", func() (*Table, error) { return E3Point(pointDs) }},
+		{"E4", func() (*Table, error) { return E4Duality(e4Trials, seed, workers) }},
+		{"E5", func() (*Table, error) { return E5ApproxQuality(e5N, e5Jobs, seed, workers) }},
+		{"E6", func() (*Table, error) { return E6Runtime(e6Sizes, seed) }},
+		{"E7", func() (*Table, error) { return E7Online(e7N, e7Jobs, seed, workers) }},
+		{"E8", func() (*Table, error) { return E8Diffusion(e8Sides, seed) }},
+		{"E9", func() (*Table, error) { return E9Broken(e9R1s) }},
+		{"E10", func() (*Table, error) { return E10Transfers(e10Lens, e10D) }},
+		{"E11", func() (*Table, error) { return E11Ablations(e7N, e7Jobs, seed, workers) }},
+		{"E12", func() (*Table, error) { return E12DimensionSweep(4000) }},
+		{"E13", func() (*Table, error) { return E13Robustness([]float64{0, 0.25, 0.5, 1}, seed, workers) }},
 	} {
-		tbl, err := build()
+		if id != "" && exp.id != id {
+			continue
+		}
+		tbl, err := exp.build()
 		if err != nil {
 			return nil, err
 		}

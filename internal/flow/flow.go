@@ -4,6 +4,13 @@
 // vehicle, demands d(j) at every customer, and arcs i->j for positions
 // within the allowed radius — the LP is feasible iff max-flow saturates the
 // total demand.
+//
+// A Network is warm-reusable: it stores the base capacity of every edge, so
+// Reset restores the just-built state without allocating, SetCapacity
+// rewrites a single edge (the knob capacity searches turn), and the BFS/DFS
+// scratch is retained per network — a warm MaxFlow allocates nothing. This
+// extends the repo's "reset ≡ fresh" discipline (DESIGN.md) to the offline
+// LP core.
 package flow
 
 import (
@@ -14,26 +21,65 @@ import (
 // Eps is the tolerance under which residual capacities are treated as zero.
 const Eps = 1e-9
 
-// Network is a directed flow network under construction. Nodes are dense
-// integer ids 0..n-1.
+// Network is a directed flow network. Nodes are dense integer ids 0..n-1.
+// It retains its structure, base capacities, and traversal scratch across
+// solves: Reset + MaxFlow replays bit-for-bit like a fresh build and
+// allocates nothing.
 type Network struct {
 	n     int
 	heads []int32 // adjacency list heads, -1 terminated
 	to    []int32
 	next  []int32
-	cap   []float64
+	cap   []float64 // residual capacities (mutated by MaxFlow)
+	base  []float64 // construction-time capacities (restored by Reset)
+	// Retained traversal scratch, sized to n at construction so a warm
+	// MaxFlow performs zero allocations.
+	level []int32
+	iter  []int32
+	queue []int32
 }
 
 // NewNetwork creates a network with n nodes and no edges.
 func NewNetwork(n int) (*Network, error) {
+	nw := &Network{}
+	if err := nw.Reinit(n); err != nil {
+		return nil, err
+	}
+	return nw, nil
+}
+
+// Reinit restores the network to a freshly constructed n-node, zero-edge
+// state while retaining the underlying storage, so rebuilding a solver over
+// a same-order-of-magnitude graph reuses the old arrays instead of
+// reallocating them. A fresh build and a Reinit-then-rebuild are
+// indistinguishable (pinned by TestReinitMatchesFresh).
+func (nw *Network) Reinit(n int) error {
 	if n < 2 {
-		return nil, fmt.Errorf("flow: need at least 2 nodes, got %d", n)
+		return fmt.Errorf("flow: need at least 2 nodes, got %d", n)
 	}
-	heads := make([]int32, n)
-	for i := range heads {
-		heads[i] = -1
+	nw.n = n
+	nw.heads = resize(nw.heads, n)
+	for i := range nw.heads {
+		nw.heads[i] = -1
 	}
-	return &Network{n: n, heads: heads}, nil
+	nw.to = nw.to[:0]
+	nw.next = nw.next[:0]
+	nw.cap = nw.cap[:0]
+	nw.base = nw.base[:0]
+	nw.level = resize(nw.level, n)
+	nw.iter = resize(nw.iter, n)
+	if cap(nw.queue) < n {
+		nw.queue = make([]int32, 0, n)
+	}
+	return nil
+}
+
+// resize returns s with length n, reusing its storage when possible.
+func resize(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
 }
 
 // N returns the node count.
@@ -41,7 +87,7 @@ func (nw *Network) N() int { return nw.n }
 
 // AddEdge adds a directed edge u->v with the given capacity (and an implicit
 // residual reverse edge of capacity 0). Returns the edge id, usable with
-// Flow after a MaxFlow run.
+// Flow after a MaxFlow run and with SetCapacity.
 func (nw *Network) AddEdge(u, v int, capacity float64) (int, error) {
 	if u < 0 || u >= nw.n || v < 0 || v >= nw.n {
 		return 0, fmt.Errorf("flow: edge (%d,%d) out of range [0,%d)", u, v, nw.n)
@@ -52,6 +98,7 @@ func (nw *Network) AddEdge(u, v int, capacity float64) (int, error) {
 	id := len(nw.to)
 	nw.to = append(nw.to, int32(v), int32(u))
 	nw.cap = append(nw.cap, capacity, 0)
+	nw.base = append(nw.base, capacity, 0)
 	nw.next = append(nw.next, nw.heads[u], nw.heads[v])
 	nw.heads[u] = int32(id)
 	nw.heads[v] = int32(id + 1)
@@ -61,17 +108,41 @@ func (nw *Network) AddEdge(u, v int, capacity float64) (int, error) {
 // Flow returns the flow currently pushed through edge id (after MaxFlow).
 func (nw *Network) Flow(id int) float64 { return nw.cap[id^1] }
 
+// Reset restores every edge to its base capacity, discarding all flow. The
+// structure is untouched and nothing is allocated: Reset followed by MaxFlow
+// behaves exactly like a fresh network (TestResetMatchesFresh pins this).
+func (nw *Network) Reset() {
+	copy(nw.cap, nw.base)
+}
+
+// SetCapacity rewrites the capacity of edge id (a forward id returned by
+// AddEdge), updating both the live residual state and the base restored by
+// Reset. Any flow currently on the edge pair is discarded, so the usual
+// probe sequence is Reset, then SetCapacity on the searched edges, then
+// MaxFlow.
+func (nw *Network) SetCapacity(id int, capacity float64) error {
+	if id < 0 || id >= len(nw.cap) || id&1 != 0 {
+		return fmt.Errorf("flow: edge id %d out of range (forward ids are even, < %d)", id, len(nw.cap))
+	}
+	if capacity < 0 || math.IsNaN(capacity) {
+		return fmt.Errorf("flow: invalid capacity %v", capacity)
+	}
+	nw.cap[id] = capacity
+	nw.cap[id^1] = 0
+	nw.base[id] = capacity
+	nw.base[id^1] = 0
+	return nil
+}
+
 // MaxFlow computes the maximum s-t flow with Dinic's algorithm and returns
 // its value. The network retains the flow (inspect with Flow); calling
-// MaxFlow again continues from the current residual state, so use a fresh
-// network per computation.
+// MaxFlow again continues from the current residual state — call Reset first
+// to solve from scratch. A warm call performs zero allocations.
 func (nw *Network) MaxFlow(s, t int) (float64, error) {
 	if s < 0 || s >= nw.n || t < 0 || t >= nw.n || s == t {
 		return 0, fmt.Errorf("flow: bad terminals s=%d t=%d", s, t)
 	}
-	level := make([]int32, nw.n)
-	iter := make([]int32, nw.n)
-	queue := make([]int32, 0, nw.n)
+	level, iter := nw.level, nw.iter
 	total := 0.0
 	for {
 		// BFS level graph.
@@ -79,7 +150,7 @@ func (nw *Network) MaxFlow(s, t int) (float64, error) {
 			level[i] = -1
 		}
 		level[s] = 0
-		queue = append(queue[:0], int32(s))
+		queue := append(nw.queue[:0], int32(s))
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
 			for e := nw.heads[u]; e != -1; e = nw.next[e] {
@@ -90,6 +161,7 @@ func (nw *Network) MaxFlow(s, t int) (float64, error) {
 				}
 			}
 		}
+		nw.queue = queue[:0]
 		if level[t] < 0 {
 			return total, nil
 		}

@@ -51,13 +51,27 @@ func Cube(dim int, corner Point, side int) (Box, error) {
 // Side returns the number of lattice points along axis i.
 func (b Box) Side(i int) int64 { return int64(b.Hi[i]-b.Lo[i]) + 1 }
 
-// Volume returns the number of lattice points in the box.
+// Volume returns the number of lattice points in the box. The product can
+// overflow for enormous boxes; size-gating callers must use VolumeChecked.
 func (b Box) Volume() int64 {
 	v := int64(1)
 	for i := 0; i < b.Dim; i++ {
 		v *= b.Side(i)
 	}
 	return v
+}
+
+// VolumeChecked is Volume with overflow detection: it returns ErrOverflow
+// instead of a wrapped product when the point count exceeds int64 range.
+func (b Box) VolumeChecked() (int64, error) {
+	v := int64(1)
+	for i := 0; i < b.Dim; i++ {
+		var err error
+		if v, err = mulChecked(v, b.Side(i)); err != nil {
+			return 0, err
+		}
+	}
+	return v, nil
 }
 
 // Contains reports whether p lies inside the box.

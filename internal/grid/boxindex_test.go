@@ -1,0 +1,76 @@
+package grid
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBoxIndexRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		dim := 1 + rng.Intn(3)
+		var lo, hi Point
+		for i := 0; i < dim; i++ {
+			lo[i] = int32(rng.Intn(11) - 5)
+			hi[i] = lo[i] + int32(rng.Intn(5))
+		}
+		b, err := NewBox(dim, lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix := NewBoxIndex(b)
+		if ix.Len() != b.Volume() {
+			t.Fatalf("Len %d != Volume %d", ix.Len(), b.Volume())
+		}
+		// Points() is row-major, so offsets must be 0,1,2,... in that order.
+		for want, p := range b.Points() {
+			off := ix.Offset(p)
+			if off != int64(want) {
+				t.Fatalf("Offset(%v) = %d, want %d (row-major)", p, off, want)
+			}
+			q, err := ix.PointAt(off)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if q != p {
+				t.Fatalf("PointAt(%d) = %v, want %v", off, q, p)
+			}
+			if !ix.Contains(p) {
+				t.Fatalf("Contains(%v) = false for interior point", p)
+			}
+		}
+	}
+}
+
+func TestVolumeChecked(t *testing.T) {
+	b, err := NewBox(2, P(0, 0), P(3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := b.VolumeChecked()
+	if err != nil || v != 20 {
+		t.Errorf("VolumeChecked = %d, %v; want 20", v, err)
+	}
+	const far = 2097152
+	huge, err := NewBox(3, P(0, 0, 0), P(far, far, far))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := huge.VolumeChecked(); err == nil {
+		t.Error("overflowing volume should return ErrOverflow")
+	}
+}
+
+func TestBoxIndexPointAtRange(t *testing.T) {
+	b, err := NewBox(2, P(0, 0), P(2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewBoxIndex(b)
+	if _, err := ix.PointAt(-1); err == nil {
+		t.Error("negative offset should fail")
+	}
+	if _, err := ix.PointAt(ix.Len()); err == nil {
+		t.Error("offset == Len should fail")
+	}
+}

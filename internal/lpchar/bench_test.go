@@ -21,11 +21,53 @@ func benchDemand(b *testing.B, points int) *demand.Map {
 	return m
 }
 
-func BenchmarkFlowValue(b *testing.B) {
+// BenchmarkFlowValueCold is the pre-refactor baseline shape: every bisection
+// probe constructs a fresh supply graph (see coldFlowValue in solver_test).
+func BenchmarkFlowValueCold(b *testing.B) {
+	m := benchDemand(b, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		coldFlowValue(b, m, 3)
+	}
+}
+
+// BenchmarkFlowValueWarm is the shipped path: one Solver construction plus
+// ~60 construction-free probes on reset residual state.
+func BenchmarkFlowValueWarm(b *testing.B) {
 	m := benchDemand(b, 12)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := FlowValue(m, 3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFlowValueRebound measures the sweep-worker steady state: one
+// retained Solver re-bound per instance, so graph arrays and the offset
+// index are reused across instances too.
+func BenchmarkFlowValueRebound(b *testing.B) {
+	m := benchDemand(b, 12)
+	var s Solver
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Bind(m, 3); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Value(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOmegaStarFlow times the self-consistent program (2.8) with the
+// per-radius solver cache across its bracket and bisection.
+func BenchmarkOmegaStarFlow(b *testing.B) {
+	m := benchDemand(b, 12)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := OmegaStarFlow(m); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,11 +21,9 @@ package lpchar
 import (
 	"errors"
 	"fmt"
-	"math"
 	"math/bits"
 
 	"repro/internal/demand"
-	"repro/internal/flow"
 	"repro/internal/grid"
 )
 
@@ -36,99 +34,36 @@ var ErrTooLarge = errors.New("lpchar: instance too large for exact method")
 // maxSubsetSupport bounds SubsetValue's 2^k enumeration.
 const maxSubsetSupport = 18
 
-// supplyPoints enumerates every lattice point of Z^l within distance r of
-// the demand support — exactly the vehicles that can participate in LP (2.1).
-func supplyPoints(m *demand.Map, r int) []grid.Point {
-	support := m.Support()
-	seen := make(map[grid.Point]bool)
-	var out []grid.Point
-	for _, s := range support {
-		b, err := grid.NewBox(m.Dim(), s, s)
-		if err != nil {
-			continue
-		}
-		for _, p := range grid.NeighborhoodPoints(b, r) {
-			if !seen[p] {
-				seen[p] = true
-				out = append(out, p)
-			}
-		}
-	}
-	return out
-}
-
 // Feasible reports whether capacity omega suffices for radius-r transports:
 // the transportation polytope of LP (2.1) with the given omega is nonempty.
+// One-shot convenience over Solver — callers probing many omegas on one
+// instance should build the Solver once and use FeasibleAt.
 func Feasible(m *demand.Map, r int, omega float64) (bool, error) {
-	total := float64(m.Total())
-	if total == 0 {
+	if m.Total() == 0 {
 		return true, nil
 	}
 	if omega <= 0 {
 		return false, nil
 	}
-	support := m.Support()
-	suppliers := supplyPoints(m, r)
-	// Node layout: 0 = source, 1..len(suppliers) = suppliers,
-	// then demands, then sink.
-	n := 2 + len(suppliers) + len(support)
-	nw, err := flow.NewNetwork(n)
+	s, err := NewSolver(m, r)
 	if err != nil {
 		return false, err
 	}
-	src, sink := 0, n-1
-	supIdx := make(map[grid.Point]int, len(suppliers))
-	for i, p := range suppliers {
-		supIdx[p] = 1 + i
-		if _, err := nw.AddEdge(src, 1+i, omega); err != nil {
-			return false, err
-		}
-	}
-	for j, q := range support {
-		dj := 1 + len(suppliers) + j
-		if _, err := nw.AddEdge(dj, sink, float64(m.At(q))); err != nil {
-			return false, err
-		}
-		qb, err := grid.NewBox(m.Dim(), q, q)
-		if err != nil {
-			return false, err
-		}
-		for _, p := range grid.NeighborhoodPoints(qb, r) {
-			if si, ok := supIdx[p]; ok {
-				if _, err := nw.AddEdge(si, dj, math.Inf(1)); err != nil {
-					return false, err
-				}
-			}
-		}
-	}
-	val, err := nw.MaxFlow(src, sink)
-	if err != nil {
-		return false, err
-	}
-	return val >= total*(1-1e-9)-1e-9, nil
+	return s.FeasibleAt(omega)
 }
 
 // FlowValue computes the exact value of LP (2.1) for radius r by binary
-// search on omega with the max-flow feasibility oracle.
+// search on omega with the max-flow feasibility oracle: one Solver
+// construction plus ~60 warm probes on reset residual state.
 func FlowValue(m *demand.Map, r int) (float64, error) {
 	if m.Total() == 0 {
 		return 0, nil
 	}
-	lo, hi := 0.0, float64(m.Max())
-	// max_j d(j) is always feasible (each point serves itself), so hi works.
-	for iter := 0; iter < 60 && hi-lo > 1e-9*math.Max(1, hi); iter++ {
-		mid := (lo + hi) / 2
-		ok, err := Feasible(m, r, mid)
-		if err != nil {
-			return 0, err
-		}
-		if ok {
-			hi = mid
-		} else {
-			lo = mid
-		}
+	var s Solver
+	if err := s.Bind(m, r); err != nil {
+		return 0, err
 	}
-	return hi, nil
+	return s.Value()
 }
 
 // SubsetValue computes max over all subsets T of the support of
@@ -147,20 +82,50 @@ func SubsetValue(m *demand.Map, r int) (float64, error) {
 	// For each lattice point p near the support, record the bitmask of
 	// support points within distance r. |N_r(T)| = number of points whose
 	// mask intersects T = total - #points whose mask avoids T, and the
-	// avoid-counts come from a subset-sum (SOS) transform.
-	cover := make(map[grid.Point]uint32)
-	for i, s := range support {
-		b, err := grid.NewBox(m.Dim(), s, s)
-		if err != nil {
-			return 0, err
-		}
-		for _, p := range grid.NeighborhoodPoints(b, r) {
-			cover[p] |= 1 << i
-		}
+	// avoid-counts come from a subset-sum (SOS) transform. For compact
+	// supports the masks live in a dense array over the support's
+	// r-neighborhood bounding box (offset index): untouched offsets keep
+	// mask 0 and are exactly the box points outside N_r(support). Spatially
+	// spread supports whose box would be mostly padding fall back to a map,
+	// like the supply index.
+	bbox, ok := m.BoundingBox()
+	if !ok {
+		return 0, nil
+	}
+	box := bbox.Expand(r)
+	var deltaCache supplyIndex
+	deltas, err := deltaCache.ballOffsets(m.Dim(), r)
+	if err != nil {
+		return 0, err
 	}
 	cnt := make([]int64, 1<<k)
-	for _, mask := range cover {
-		cnt[mask]++
+	totalPoints := int64(0)
+	maxCovered := int64(k) * int64(len(deltas))
+	if _, dense := denseIndexVolume(box, maxCovered); dense {
+		ix := grid.NewBoxIndex(box)
+		cover := make([]uint32, ix.Len())
+		for i, s := range support {
+			for _, d := range deltas {
+				cover[ix.Offset(s.Add(d))] |= 1 << i
+			}
+		}
+		for _, mask := range cover {
+			if mask != 0 {
+				cnt[mask]++
+				totalPoints++
+			}
+		}
+	} else {
+		cover := make(map[grid.Point]uint32, maxCovered)
+		for i, s := range support {
+			for _, d := range deltas {
+				cover[s.Add(d)] |= 1 << i
+			}
+		}
+		for _, mask := range cover {
+			cnt[mask]++
+		}
+		totalPoints = int64(len(cover))
 	}
 	// f[S] = number of points whose mask is a subset of S.
 	f := make([]int64, 1<<k)
@@ -172,7 +137,6 @@ func SubsetValue(m *demand.Map, r int) (float64, error) {
 			}
 		}
 	}
-	totalPoints := int64(len(cover))
 	demands := make([]int64, k)
 	for i, s := range support {
 		demands[i] = m.At(s)
@@ -244,10 +208,25 @@ func MaxOverBoxes(m *demand.Map, r int) (float64, grid.Box, error) {
 // capacity — exactly: the unique omega with omega = LPvalue(r=floor(omega)).
 // LPvalue(r) is non-increasing in r (Lemma 2.2.3's proof), so g(r) =
 // LPvalue(r) - r is strictly decreasing and a binary search on the integer
-// radius bracket followed by one LP evaluation pins the fixed point.
+// radius bracket followed by one LP evaluation pins the fixed point. Solvers
+// are cached per radius across the bracket and bisection, so a radius the
+// search revisits re-runs warm probes instead of rebuilding its supply
+// graph.
 func OmegaStarFlow(m *demand.Map) (float64, error) {
 	if m.Total() == 0 {
 		return 0, nil
+	}
+	solvers := make(map[int]*Solver)
+	value := func(r int) (float64, error) {
+		s := solvers[r]
+		if s == nil {
+			var err error
+			if s, err = NewSolver(m, r); err != nil {
+				return 0, err
+			}
+			solvers[r] = s
+		}
+		return s.Value()
 	}
 	// Find smallest integer R with LPvalue(R) <= R+1; the fixed point lies
 	// in radius segment [R, R+1). Bracket exponentially from small radii:
@@ -256,7 +235,7 @@ func OmegaStarFlow(m *demand.Map) (float64, error) {
 	// concentrated demands.
 	hi := 1
 	for {
-		v, err := FlowValue(m, hi)
+		v, err := value(hi)
 		if err != nil {
 			return 0, err
 		}
@@ -271,7 +250,7 @@ func OmegaStarFlow(m *demand.Map) (float64, error) {
 	lo := 0
 	for lo < hi {
 		mid := (lo + hi) / 2
-		v, err := FlowValue(m, mid)
+		v, err := value(mid)
 		if err != nil {
 			return 0, err
 		}
@@ -282,7 +261,7 @@ func OmegaStarFlow(m *demand.Map) (float64, error) {
 		}
 	}
 	r := lo
-	v, err := FlowValue(m, r)
+	v, err := value(r)
 	if err != nil {
 		return 0, err
 	}

@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"repro/internal/demand"
-	"repro/internal/grid"
 	"repro/internal/simplex"
 )
 
@@ -28,21 +27,21 @@ func SimplexValue(m *demand.Map, r int) (float64, error) {
 		return 0, nil
 	}
 	support := m.Support()
-	suppliers := supplyPoints(m, r)
+	var sup supplyIndex
+	if err := sup.build(m, r, support); err != nil {
+		return 0, err
+	}
+	suppliers := sup.suppliers
+	deltas, err := sup.ballOffsets(m.Dim(), r)
+	if err != nil {
+		return 0, err
+	}
 	type arc struct{ i, j int }
 	var arcs []arc
-	supIdx := make(map[grid.Point]int, len(suppliers))
-	for i, p := range suppliers {
-		supIdx[p] = i
-	}
 	for j, q := range support {
-		qb, err := grid.NewBox(m.Dim(), q, q)
-		if err != nil {
-			return 0, err
-		}
-		for _, p := range grid.NeighborhoodPoints(qb, r) {
-			if i, ok := supIdx[p]; ok {
-				arcs = append(arcs, arc{i: i, j: j})
+		for _, d := range deltas {
+			if i := sup.supplierAt(q.Add(d)); i >= 0 {
+				arcs = append(arcs, arc{i: int(i), j: j})
 			}
 		}
 	}

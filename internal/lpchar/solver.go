@@ -1,0 +1,283 @@
+package lpchar
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/demand"
+	"repro/internal/flow"
+	"repro/internal/grid"
+)
+
+// maxSupplyBoxVolume bounds the dense offset index over the support's
+// r-neighborhood bounding box. The suppliers themselves number at most
+// |support| * ballVolume regardless of how the support is spread, so past
+// this the dense array would be dominated by -1 padding (a spatially sparse
+// instance) and the index falls back to a point-keyed map with the same
+// discovery order — dense for the compact instances every hot path probes,
+// never worse than the suppliers themselves for spread ones.
+const maxSupplyBoxVolume = 1 << 22
+
+// denseIndexVolume is the dense-vs-map decision shared by the supply index
+// and SubsetValue's cover pass: it returns the box volume and whether a
+// dense array over the box beats a map holding up to covered entries (the
+// volume may exceed the entry count by at most 8x padding). Volumes that
+// overflow int64 are by definition sparse.
+func denseIndexVolume(box grid.Box, covered int64) (int64, bool) {
+	vol, err := box.VolumeChecked()
+	if err != nil {
+		return 0, false
+	}
+	return vol, vol <= maxSupplyBoxVolume && vol <= 1024+8*covered
+}
+
+// supplyIndex indexes the supply positions of LP (2.1): every lattice point
+// within distance r of the demand support — exactly the vehicles that can
+// participate — mapped to a dense supplier id. For compact supports (all
+// hot paths) the index is a []int32 over the r-neighborhood bounding box,
+// replacing the map[grid.Point] lookups of the construction path; supports
+// whose bounding box is overwhelmingly empty fall back to a map so sparse
+// spread instances stay exactly as feasible as before the dense refactor.
+// Buffers are retained across builds so a warm rebind reuses them.
+type supplyIndex struct {
+	ix        grid.BoxIndex
+	dense     bool
+	id        []int32              // dense: supplier id per box offset, -1 when none
+	idMap     map[grid.Point]int32 // sparse fallback: supplier id by point
+	suppliers []grid.Point         // suppliers in discovery order (sorted support x ball order)
+	// deltas caches the L1-ball offsets |delta|_1 <= r in the row-major
+	// order NeighborhoodPoints produces, keyed by (dim, r).
+	deltas             []grid.Point
+	deltaDim, deltaRad int
+}
+
+// ballOffsets returns the L1-ball offsets for (dim, r), cached. The order is
+// NeighborhoodPoints' row-major scan of the bounding box, which is
+// translation-invariant — so enumerating q+delta visits exactly the points
+// NeighborhoodPoints(box(q), r) would, in the same order.
+func (si *supplyIndex) ballOffsets(dim, r int) ([]grid.Point, error) {
+	if si.deltas != nil && si.deltaDim == dim && si.deltaRad == r {
+		return si.deltas, nil
+	}
+	origin, err := grid.NewBox(dim, grid.Point{}, grid.Point{})
+	if err != nil {
+		return nil, err
+	}
+	si.deltas = grid.NeighborhoodPoints(origin, r)
+	si.deltaDim, si.deltaRad = dim, r
+	return si.deltas, nil
+}
+
+// build indexes the suppliers of (m, r). support must be m.Support() (passed
+// in so callers that already have it avoid a second sort).
+func (si *supplyIndex) build(m *demand.Map, r int, support []grid.Point) error {
+	bbox, ok := m.BoundingBox()
+	if !ok {
+		return fmt.Errorf("lpchar: empty support")
+	}
+	box := bbox.Expand(r)
+	deltas, err := si.ballOffsets(m.Dim(), r)
+	if err != nil {
+		return err
+	}
+	// Both modes discover suppliers in the same order, so the built graph —
+	// and every value computed from it — is identical either way.
+	maxSuppliers := int64(len(support)) * int64(len(deltas))
+	var vol int64
+	vol, si.dense = denseIndexVolume(box, maxSuppliers)
+	si.suppliers = si.suppliers[:0]
+	if si.dense {
+		si.idMap = nil
+		si.ix = grid.NewBoxIndex(box)
+		if int64(cap(si.id)) < vol {
+			si.id = make([]int32, vol)
+		}
+		si.id = si.id[:vol]
+		for i := range si.id {
+			si.id[i] = -1
+		}
+		for _, s := range support {
+			for _, d := range deltas {
+				p := s.Add(d)
+				off := si.ix.Offset(p)
+				if si.id[off] < 0 {
+					si.id[off] = int32(len(si.suppliers))
+					si.suppliers = append(si.suppliers, p)
+				}
+			}
+		}
+		return nil
+	}
+	si.id = si.id[:0]
+	si.idMap = make(map[grid.Point]int32, maxSuppliers)
+	for _, s := range support {
+		for _, d := range deltas {
+			p := s.Add(d)
+			if _, seen := si.idMap[p]; !seen {
+				si.idMap[p] = int32(len(si.suppliers))
+				si.suppliers = append(si.suppliers, p)
+			}
+		}
+	}
+	return nil
+}
+
+// supplierAt returns the supplier id of p, or -1. In dense mode p must lie
+// inside the indexed box (every point within r of the support does).
+func (si *supplyIndex) supplierAt(p grid.Point) int32 {
+	if si.dense {
+		return si.id[si.ix.Offset(p)]
+	}
+	if id, ok := si.idMap[p]; ok {
+		return id
+	}
+	return -1
+}
+
+// Solver answers LP (2.1) feasibility probes for one (demand, radius) pair
+// without rebuilding anything: the supply graph is constructed once through
+// the dense offset index, the source-edge ids are recorded, and FeasibleAt
+// rewrites only those capacities before re-running max-flow on reset
+// residual state. A probe allocates nothing; a full Value() is one
+// construction plus ~60 warm probes (versus ~60 cold graph builds before).
+//
+// Solvers are rebindable: Bind(m, r) rebuilds the graph in place, reusing
+// the network arrays and index buffers — the "one solver per worker" rule
+// experiment sweeps follow, mirroring the online layer's one-runner-per-
+// worker discipline. A Solver is not safe for concurrent use.
+type Solver struct {
+	total float64
+	maxD  float64
+	r     int
+	src   int
+	sink  int
+	nw    *flow.Network
+	// srcEdges[i] is the source edge of supplier i — the only capacities a
+	// probe rewrites.
+	srcEdges []int
+	sup      supplyIndex
+}
+
+// NewSolver builds a warm-reusable solver for LP (2.1) on (m, r).
+func NewSolver(m *demand.Map, r int) (*Solver, error) {
+	s := new(Solver)
+	if err := s.Bind(m, r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Bind (re)builds the solver for a new instance, reusing all retained
+// storage. The resulting solver is indistinguishable from a freshly
+// constructed one (TestSolverWarmEqualsCold pins this).
+func (s *Solver) Bind(m *demand.Map, r int) error {
+	if r < 0 {
+		return fmt.Errorf("lpchar: negative radius %d", r)
+	}
+	s.total = float64(m.Total())
+	s.maxD = float64(m.Max())
+	s.r = r
+	if s.total == 0 {
+		// Clear per-instance state so accessors don't report the previous
+		// binding.
+		s.sup.suppliers = s.sup.suppliers[:0]
+		s.srcEdges = s.srcEdges[:0]
+		return nil
+	}
+	support := m.Support()
+	if err := s.sup.build(m, r, support); err != nil {
+		return err
+	}
+	// Node layout (identical to the pre-solver construction): 0 = source,
+	// 1..len(suppliers) = suppliers, then demands, then sink.
+	n := 2 + len(s.sup.suppliers) + len(support)
+	if s.nw == nil {
+		nw, err := flow.NewNetwork(n)
+		if err != nil {
+			return err
+		}
+		s.nw = nw
+	} else if err := s.nw.Reinit(n); err != nil {
+		return err
+	}
+	s.src, s.sink = 0, n-1
+	s.srcEdges = s.srcEdges[:0]
+	for i := range s.sup.suppliers {
+		id, err := s.nw.AddEdge(s.src, 1+i, 0)
+		if err != nil {
+			return err
+		}
+		s.srcEdges = append(s.srcEdges, id)
+	}
+	deltas, err := s.sup.ballOffsets(m.Dim(), r)
+	if err != nil {
+		return err
+	}
+	for j, q := range support {
+		dj := 1 + len(s.sup.suppliers) + j
+		if _, err := s.nw.AddEdge(dj, s.sink, float64(m.At(q))); err != nil {
+			return err
+		}
+		for _, d := range deltas {
+			if si := s.sup.supplierAt(q.Add(d)); si >= 0 {
+				if _, err := s.nw.AddEdge(1+int(si), dj, math.Inf(1)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Suppliers returns the number of supply positions in the bound instance.
+func (s *Solver) Suppliers() int { return len(s.sup.suppliers) }
+
+// Radius returns the bound transport radius.
+func (s *Solver) Radius() int { return s.r }
+
+// FeasibleAt reports whether capacity omega suffices for the bound instance:
+// the transportation polytope of LP (2.1) with the given omega is nonempty.
+// A warm probe rewrites only the source capacities and allocates nothing.
+func (s *Solver) FeasibleAt(omega float64) (bool, error) {
+	if s.total == 0 {
+		return true, nil
+	}
+	if omega <= 0 {
+		return false, nil
+	}
+	s.nw.Reset()
+	for _, id := range s.srcEdges {
+		if err := s.nw.SetCapacity(id, omega); err != nil {
+			return false, err
+		}
+	}
+	val, err := s.nw.MaxFlow(s.src, s.sink)
+	if err != nil {
+		return false, err
+	}
+	return val >= s.total*(1-1e-9)-1e-9, nil
+}
+
+// Value computes the exact value of LP (2.1) for the bound instance by
+// binary search on omega over warm FeasibleAt probes — bit-identical to the
+// pre-solver bisection, since each probe solves the same network.
+func (s *Solver) Value() (float64, error) {
+	if s.total == 0 {
+		return 0, nil
+	}
+	lo, hi := 0.0, s.maxD
+	// max_j d(j) is always feasible (each point serves itself), so hi works.
+	for iter := 0; iter < 60 && hi-lo > 1e-9*math.Max(1, hi); iter++ {
+		mid := (lo + hi) / 2
+		ok, err := s.FeasibleAt(mid)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}

@@ -1,0 +1,110 @@
+package offline
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/demand"
+	"repro/internal/grid"
+)
+
+// TestDenseSharedViewMatchesStandalone pins that one shared Dense view
+// driving the whole pipeline (characterize, estimate, construct) returns
+// exactly what the standalone per-call functions return — the offline
+// warm ≡ cold contract.
+func TestDenseSharedViewMatchesStandalone(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	arena := grid.MustNew(16, 16)
+	inner, err := grid.NewBox(2, grid.P(4, 4), grid.P(11, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 10; trial++ {
+		m, err := demand.Uniform(rng, inner, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := NewDense(m, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		charShared, err := d.OmegaC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		charCold, err := OmegaC(m, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if charShared != charCold {
+			t.Fatalf("trial %d: shared OmegaC %+v != standalone %+v", trial, charShared, charCold)
+		}
+
+		resShared, err := d.Algorithm1()
+		if err != nil {
+			t.Fatal(err)
+		}
+		resCold, err := Algorithm1(m, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resShared != resCold {
+			t.Fatalf("trial %d: shared Algorithm1 %+v != standalone %+v", trial, resShared, resCold)
+		}
+
+		schedShared, err := d.BuildSchedule(charShared)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedWithChar, err := BuildScheduleWithChar(m, arena, charCold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		schedCold, err := BuildSchedule(m, arena)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(schedShared, schedWithChar) {
+			t.Fatalf("trial %d: shared schedule differs from BuildScheduleWithChar", trial)
+		}
+		if !reflect.DeepEqual(schedShared, schedCold) {
+			t.Fatalf("trial %d: shared schedule differs from BuildSchedule", trial)
+		}
+		if _, err := VerifySchedule(m, schedShared, schedShared.W); err != nil {
+			t.Fatalf("trial %d: shared schedule invalid: %v", trial, err)
+		}
+	}
+}
+
+func TestDenseAt(t *testing.T) {
+	arena := grid.MustNew(4, 4)
+	m := demand.NewMap(2)
+	if err := m.Add(grid.P(2, 3), 7); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDense(m, arena)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Arena() != arena {
+		t.Error("Arena() should return the construction arena")
+	}
+	if got := d.At(grid.P(2, 3)); got != 7 {
+		t.Errorf("At = %d, want 7", got)
+	}
+	if got := d.At(grid.P(0, 0)); got != 0 {
+		t.Errorf("At empty cell = %d, want 0", got)
+	}
+}
+
+func TestDenseOutsideArena(t *testing.T) {
+	m := demand.NewMap(2)
+	if err := m.Add(grid.P(50, 50), 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDense(m, grid.MustNew(8, 8)); err == nil {
+		t.Error("demand outside arena should fail")
+	}
+}

@@ -23,6 +23,48 @@ func pow(base, exp int) int64 {
 	return r
 }
 
+// Dense is the dense offline view of one (demand, arena) pair: the
+// arena-indexed value array and, lazily, its summed-area table — built once
+// and shared by every Chapter 2 solver, so the full offline pipeline
+// (characterize, estimate, construct) densifies the demand exactly once.
+// A Dense is immutable after construction apart from the lazily built
+// prefix sum, and is not safe for concurrent use.
+type Dense struct {
+	m     *demand.Map
+	arena *grid.Grid
+	vals  []int64
+	ps    *grid.PrefixSum
+}
+
+// NewDense densifies m over arena (m.Values fails for demand outside it).
+func NewDense(m *demand.Map, arena *grid.Grid) (*Dense, error) {
+	vals, err := m.Values(arena)
+	if err != nil {
+		return nil, err
+	}
+	return &Dense{m: m, arena: arena, vals: vals}, nil
+}
+
+// Arena returns the arena the view was built over.
+func (d *Dense) Arena() *grid.Grid { return d.arena }
+
+// At returns the demand at p through the dense array (no map lookup).
+func (d *Dense) At(p grid.Point) int64 { return d.vals[d.arena.Index(p)] }
+
+// prefix returns the summed-area table, building it on first use. OmegaC
+// needs it; Algorithm1 does not (its pyramid aggregates vals directly), so
+// laziness keeps the standalone Algorithm1 path's cost unchanged.
+func (d *Dense) prefix() (*grid.PrefixSum, error) {
+	if d.ps == nil {
+		ps, err := grid.NewPrefixSum(d.arena, d.vals)
+		if err != nil {
+			return nil, err
+		}
+		d.ps = ps
+	}
+	return d.ps, nil
+}
+
 // CubeChar is the result of the Corollary 2.2.7 characterization: the value
 // omega_c together with the cube side its feasibility check passed at. The
 // side is *not* always ceil(Omega): when the crossing happens exactly at an
@@ -43,14 +85,20 @@ type CubeChar struct {
 // boundary s-1 (still with side s). The scan stops once the segment floor
 // exceeds the best candidate, since all later candidates are at least s-1.
 func OmegaC(m *demand.Map, arena *grid.Grid) (CubeChar, error) {
-	if m.Total() == 0 {
-		return CubeChar{}, nil
-	}
-	vals, err := m.Values(arena)
+	d, err := NewDense(m, arena)
 	if err != nil {
 		return CubeChar{}, err
 	}
-	ps, err := grid.NewPrefixSum(arena, vals)
+	return d.OmegaC()
+}
+
+// OmegaC is the Corollary 2.2.7 characterization on the shared dense view.
+func (d *Dense) OmegaC() (CubeChar, error) {
+	m, arena := d.m, d.arena
+	if m.Total() == 0 {
+		return CubeChar{}, nil
+	}
+	ps, err := d.prefix()
 	if err != nil {
 		return CubeChar{}, err
 	}
@@ -140,6 +188,18 @@ func (b Alg1Branch) String() string {
 // w-cubes with doubling w and returns (2*3^l+l)*w for the first w whose
 // aligned cube sums all satisfy sum <= w*(3w)^l.
 func Algorithm1(m *demand.Map, arena *grid.Grid) (Alg1Result, error) {
+	d, err := NewDense(m, arena)
+	if err != nil {
+		return Alg1Result{}, err
+	}
+	return d.Algorithm1()
+}
+
+// Algorithm1 runs the thesis' linear-time estimate on the shared dense view
+// (the doubling pyramid aggregates the already-densified values; no prefix
+// sum is needed).
+func (d *Dense) Algorithm1() (Alg1Result, error) {
+	m, arena, vals := d.m, d.arena, d.vals
 	l := arena.Dim()
 	n := arena.Size(0)
 	for i := 1; i < l; i++ {
@@ -149,10 +209,6 @@ func Algorithm1(m *demand.Map, arena *grid.Grid) (Alg1Result, error) {
 	}
 	if n&(n-1) != 0 {
 		return Alg1Result{}, fmt.Errorf("offline: arena side %d must be a power of two", n)
-	}
-	vals, err := m.Values(arena)
-	if err != nil {
-		return Alg1Result{}, err
 	}
 	maxD := float64(m.Max())
 	avgD := float64(m.Total()) / float64(arena.Len())

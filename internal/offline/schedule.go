@@ -56,11 +56,15 @@ func BuildSchedule(m *demand.Map, arena *grid.Grid) (*Schedule, error) {
 	if m.Total() == 0 {
 		return &Schedule{}, nil
 	}
-	char, err := OmegaC(m, arena)
+	d, err := NewDense(m, arena)
 	if err != nil {
 		return nil, err
 	}
-	return BuildScheduleWithChar(m, arena, char)
+	char, err := d.OmegaC()
+	if err != nil {
+		return nil, err
+	}
+	return d.BuildSchedule(char)
 }
 
 // BuildScheduleWithChar is BuildSchedule with an explicit characterization
@@ -68,6 +72,19 @@ func BuildSchedule(m *demand.Map, arena *grid.Grid) (*Schedule, error) {
 // The cube side must be the one whose density check the omega passed, i.e.
 // omega * (3*Side)^l must upper-bound every Side-cube demand sum.
 func BuildScheduleWithChar(m *demand.Map, arena *grid.Grid, char CubeChar) (*Schedule, error) {
+	d, err := NewDense(m, arena)
+	if err != nil {
+		return nil, err
+	}
+	return d.BuildSchedule(char)
+}
+
+// BuildSchedule is the Lemma 2.2.5 construction on the shared dense view:
+// cube demand sums and per-cell lookups go through the dense value array, so
+// the full SolveOffline pipeline touches the point-keyed demand map only at
+// its API boundary (the verifier).
+func (d *Dense) BuildSchedule(char CubeChar) (*Schedule, error) {
+	m, arena := d.m, d.arena
 	if m.Total() == 0 {
 		return &Schedule{}, nil
 	}
@@ -89,18 +106,19 @@ func BuildScheduleWithChar(m *demand.Map, arena *grid.Grid, char CubeChar) (*Sch
 	sched := &Schedule{CubeSide: s, OmegaC: char.Omega}
 	// Process each aligned cube independently (clipped at arena edges).
 	var corner [grid.MaxDim]int
-	if err := buildCubes(m, arena, sched, s, budget, corner, 0, l); err != nil {
+	if err := d.buildCubes(sched, s, budget, corner, 0, l); err != nil {
 		return nil, err
 	}
 	return sched, nil
 }
 
-func buildCubes(m *demand.Map, arena *grid.Grid, sched *Schedule, s int,
+func (d *Dense) buildCubes(sched *Schedule, s int,
 	budget float64, corner [grid.MaxDim]int, axis, l int) error {
+	arena := d.arena
 	if axis < l {
 		for c := 0; c < arena.Size(axis); c += s {
 			corner[axis] = c
-			if err := buildCubes(m, arena, sched, s, budget, corner, axis+1, l); err != nil {
+			if err := d.buildCubes(sched, s, budget, corner, axis+1, l); err != nil {
 				return err
 			}
 		}
@@ -119,11 +137,11 @@ func buildCubes(m *demand.Map, arena *grid.Grid, sched *Schedule, s int,
 	if err != nil {
 		return err
 	}
-	return buildOneCube(m, cube, sched, budget)
+	return d.buildOneCube(cube, sched, budget)
 }
 
 // buildOneCube runs the two-phase assignment inside one cube.
-func buildOneCube(m *demand.Map, cube grid.Box, sched *Schedule, budget float64) error {
+func (d *Dense) buildOneCube(cube grid.Box, sched *Schedule, budget float64) error {
 	cells := cube.Points()
 	// Round the per-vehicle service budget B = 3^l*omega *up*: the helper
 	// count guarantee sum ceil(L(x)/Bi) <= cubeVolume needs B/Bi <= 1.
@@ -136,18 +154,18 @@ func buildOneCube(m *demand.Map, cube grid.Box, sched *Schedule, budget float64)
 	plans := make(map[grid.Point]*VehiclePlan, len(cells))
 	anyDemand := false
 	for _, p := range cells {
-		d := m.At(p)
-		if d > 0 {
+		dp := d.At(p)
+		if dp > 0 {
 			anyDemand = true
 		}
-		serve := d
+		serve := dp
 		if serve > ibudget {
 			serve = ibudget
 		}
 		if serve > 0 {
 			plans[p] = &VehiclePlan{Home: p, ServeHome: serve}
 		}
-		if rest := d - serve; rest > 0 {
+		if rest := dp - serve; rest > 0 {
 			leftover[p] = rest
 		}
 	}
