@@ -14,11 +14,11 @@ type benchHost struct {
 	done      bool
 }
 
-func (h *benchHost) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+func (h *benchHost) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
 	if h.eng.Handle(ctx, from, msg) {
 		return
 	}
-	if msg == "start" {
+	if msg.Kind == kindStart {
 		h.eng.StartSearch(ctx)
 	}
 }
@@ -63,7 +63,7 @@ func BenchmarkSearchGrid(b *testing.B) {
 				}
 			}
 		}
-		net.Inject(0, "start")
+		net.Inject(0, startMsg())
 		if err := net.Run(10_000_000); err != nil {
 			b.Fatal(err)
 		}

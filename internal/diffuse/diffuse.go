@@ -19,28 +19,28 @@ import (
 	"repro/internal/sim"
 )
 
-// Query is the Phase I probe. Init and Seq identify the computation; the
-// sim layer supplies the sender identity.
-type Query struct {
-	Init sim.NodeID
-	Seq  int
-}
+// Message kinds owned by this package (range 1..15 of the sim.Msg kind
+// space). Operand layout per kind:
+//
+//	KindQuery   — A: initiator id, B: sequence number (Phase I probe)
+//	KindReply   — A: initiator id, B: sequence number, C: 1 if the subtree
+//	              below the sender contains a candidate, else 0
+//	KindForward — A: initiator id, B: sequence number (the computation the
+//	              forward belongs to, checked against the receiver's local
+//	              state exactly as the boxed implementation did), C/D: the
+//	              two opaque payload words (Payload.A / Payload.B)
+const (
+	KindQuery uint8 = iota + 1
+	KindReply
+	KindForward
+)
 
-// Reply answers a Query: Found reports whether the subtree below the sender
-// contains a candidate. Init/Seq echo the computation identity.
-type Reply struct {
-	Init  sim.NodeID
-	Seq   int
-	Found bool
-}
-
-// Forward is the Phase II message: it travels along the child pointers of
-// computation (Init, Seq) until it reaches the candidate, which receives the
-// payload.
-type Forward struct {
-	Init    sim.NodeID
-	Seq     int
-	Payload sim.Message
+// Payload is the opaque two-word Phase II payload: the initiator encodes
+// whatever it wants the found candidate to receive (the online layer packs
+// a destination cell index and a pair id). It rides KindForward messages
+// inline — no boxing, no pointers.
+type Payload struct {
+	A, B uint32
 }
 
 // State is the message-transfer state S2 of thesis Section 3.2.1.
@@ -82,7 +82,7 @@ type Config struct {
 	// found reports whether a candidate was located.
 	OnComplete func(ctx sim.Sender, seq int, found bool)
 	// OnPayload fires at the candidate when a Phase II payload arrives.
-	OnPayload func(ctx sim.Sender, payload sim.Message)
+	OnPayload func(ctx sim.Sender, payload Payload)
 }
 
 // Engine holds the per-node Phase I/II protocol state (the local data of
@@ -98,13 +98,6 @@ type Engine struct {
 	seq   int        // sequence number of the computation last joined
 
 	nextSeq int // local counter for computations this node initiates
-
-	// lastReply caches the most recently boxed Reply. Identical replies —
-	// the duplicate-query answers that dominate a flood — reuse one boxed
-	// interface value instead of allocating per send. The cached value is
-	// never mutated, so sharing it across in-flight messages is safe.
-	lastReply    Reply
-	lastReplyMsg sim.Message
 }
 
 // New creates an engine. Neighbors and IsCandidate are required; the
@@ -134,19 +127,19 @@ func (e *Engine) Reset() {
 	e.init = sim.None
 	e.seq = 0
 	e.nextSeq = 0
-	e.lastReply = Reply{}
-	e.lastReplyMsg = nil
 }
 
-// sendReply sends a Reply, reusing the previous boxed message when the
-// content is identical (the common case: every duplicate query in a flood is
-// answered with the same not-found reply).
-func (e *Engine) sendReply(ctx sim.Sender, to sim.NodeID, r Reply) {
-	if e.lastReplyMsg == nil || e.lastReply != r {
-		e.lastReply = r
-		e.lastReplyMsg = r
+// queryMsg / replyMsg encode the Phase I wire format.
+func queryMsg(init sim.NodeID, seq int) sim.Msg {
+	return sim.Msg{Kind: KindQuery, A: uint32(init), B: uint32(seq)}
+}
+
+func replyMsg(init sim.NodeID, seq int, found bool) sim.Msg {
+	m := sim.Msg{Kind: KindReply, A: uint32(init), B: uint32(seq)}
+	if found {
+		m.C = 1
 	}
-	ctx.Send(to, e.lastReplyMsg)
+	return m
 }
 
 // StartSearch begins a new diffusing computation with this node as the
@@ -164,9 +157,9 @@ func (e *Engine) StartSearch(ctx sim.Sender) int {
 	neigh := e.cfg.Neighbors()
 	e.num = len(neigh)
 	if e.num > 0 {
-		// Box the query once and fan the same immutable interface value out
-		// to every neighbor.
-		var msg sim.Message = Query{Init: ctx.Self(), Seq: seq}
+		// One inline query value fans out to every neighbor: each send
+		// copies three words into the link's ring buffer.
+		msg := queryMsg(ctx.Self(), seq)
 		for _, n := range neigh {
 			ctx.Send(n, msg)
 		}
@@ -182,38 +175,36 @@ func (e *Engine) StartSearch(ctx sim.Sender) int {
 
 // Handle processes a message if it belongs to the diffusion protocol and
 // reports whether it consumed it. Hosts call this first from OnMessage.
-func (e *Engine) Handle(ctx sim.Sender, from sim.NodeID, msg sim.Message) bool {
-	switch m := msg.(type) {
-	case Query:
-		e.onQuery(ctx, from, m)
-		return true
-	case Reply:
-		e.onReply(ctx, from, m)
-		return true
-	case Forward:
+func (e *Engine) Handle(ctx sim.Sender, from sim.NodeID, m sim.Msg) bool {
+	switch m.Kind {
+	case KindQuery:
+		e.onQuery(ctx, from, sim.NodeID(m.A), int(m.B))
+	case KindReply:
+		e.onReply(ctx, from, sim.NodeID(m.A), int(m.B), m.C != 0)
+	case KindForward:
 		e.onForward(ctx, m)
-		return true
 	default:
 		return false
 	}
+	return true
 }
 
-func (e *Engine) onQuery(ctx sim.Sender, from sim.NodeID, q Query) {
-	fresh := e.init != q.Init || e.seq != q.Seq
+func (e *Engine) onQuery(ctx sim.Sender, from, init sim.NodeID, seq int) {
+	fresh := e.init != init || e.seq != seq
 	if e.state != Waiting || !fresh {
 		// Already part of this computation (or busy with another): tell the
 		// sender its tree topology need not change.
-		e.sendReply(ctx, from, Reply{Init: q.Init, Seq: q.Seq, Found: false})
+		ctx.Send(from, replyMsg(init, seq, false))
 		return
 	}
 	e.par = from
-	e.init = q.Init
-	e.seq = q.Seq
+	e.init = init
+	e.seq = seq
 	e.child = sim.None
 	if e.cfg.IsCandidate() {
 		// An idle node answers immediately and stays waiting; it becomes
 		// the leaf of the search path.
-		e.sendReply(ctx, from, Reply{Init: q.Init, Seq: q.Seq, Found: true})
+		ctx.Send(from, replyMsg(init, seq, true))
 		return
 	}
 	e.state = Searching
@@ -221,27 +212,27 @@ func (e *Engine) onQuery(ctx sim.Sender, from sim.NodeID, q Query) {
 	e.num = len(neigh)
 	if e.num == 0 {
 		e.state = Waiting
-		e.sendReply(ctx, from, Reply{Init: q.Init, Seq: q.Seq, Found: false})
+		ctx.Send(from, replyMsg(init, seq, false))
 		return
 	}
-	// One boxed query shared by the whole re-flood (see StartSearch).
-	var msg sim.Message = Query{Init: q.Init, Seq: q.Seq}
+	// One query value shared by the whole re-flood (see StartSearch).
+	msg := queryMsg(init, seq)
 	for _, n := range neigh {
 		ctx.Send(n, msg)
 	}
 }
 
-func (e *Engine) onReply(ctx sim.Sender, from sim.NodeID, r Reply) {
-	if r.Init != e.init || r.Seq != e.seq || (e.state != Searching && e.state != Initiator) {
+func (e *Engine) onReply(ctx sim.Sender, from, init sim.NodeID, seq int, found bool) {
+	if init != e.init || seq != e.seq || (e.state != Searching && e.state != Initiator) {
 		// Stale reply from an abandoned computation; drop it.
 		return
 	}
 	e.num--
-	if r.Found && e.child == sim.None {
+	if found && e.child == sim.None {
 		e.child = from
 		if e.state == Searching {
 			// Propagate the discovery up immediately (Algorithm 2).
-			e.sendReply(ctx, e.par, Reply{Init: r.Init, Seq: r.Seq, Found: true})
+			ctx.Send(e.par, replyMsg(init, seq, true))
 		}
 	}
 	if e.num == 0 {
@@ -249,40 +240,44 @@ func (e *Engine) onReply(ctx sim.Sender, from sim.NodeID, r Reply) {
 		e.state = Waiting
 		if wasInitiator {
 			if e.cfg.OnComplete != nil {
-				e.cfg.OnComplete(ctx, r.Seq, e.child != sim.None)
+				e.cfg.OnComplete(ctx, seq, e.child != sim.None)
 			}
 			return
 		}
 		if e.child == sim.None {
-			e.sendReply(ctx, e.par, Reply{Init: r.Init, Seq: r.Seq, Found: false})
+			ctx.Send(e.par, replyMsg(init, seq, false))
 		}
 	}
 }
 
 // ForwardPayload launches Phase II from the initiator after a successful
 // search: the payload rides the child chain to the candidate.
-func (e *Engine) ForwardPayload(ctx sim.Sender, seq int, payload sim.Message) error {
+func (e *Engine) ForwardPayload(ctx sim.Sender, seq int, payload Payload) error {
 	if e.init != ctx.Self() || e.seq != seq {
 		return fmt.Errorf("diffuse: node %d does not own computation seq %d", ctx.Self(), seq)
 	}
 	if e.child == sim.None {
 		return fmt.Errorf("diffuse: computation %d found no candidate", seq)
 	}
-	ctx.Send(e.child, Forward{Init: ctx.Self(), Seq: seq, Payload: payload})
+	ctx.Send(e.child, sim.Msg{
+		Kind: KindForward,
+		A:    uint32(ctx.Self()), B: uint32(seq),
+		C: payload.A, D: payload.B,
+	})
 	return nil
 }
 
-func (e *Engine) onForward(ctx sim.Sender, f Forward) {
-	if e.init != f.Init || e.seq != f.Seq {
+func (e *Engine) onForward(ctx sim.Sender, m sim.Msg) {
+	if e.init != sim.NodeID(m.A) || e.seq != int(m.B) {
 		// A forward for a computation this node never joined; drop. (Cannot
 		// happen under per-link FIFO, but dropping is the safe behaviour.)
 		return
 	}
 	if e.child != sim.None {
-		ctx.Send(e.child, f)
+		ctx.Send(e.child, m)
 		return
 	}
 	if e.cfg.OnPayload != nil {
-		e.cfg.OnPayload(ctx, f.Payload)
+		e.cfg.OnPayload(ctx, Payload{A: m.C, B: m.D})
 	}
 }

@@ -7,6 +7,12 @@ import (
 	"repro/internal/sim"
 )
 
+// kindStart is a host-level test message (32..127 is the test range of the
+// sim.Msg kind space) telling a host to initiate a search.
+const kindStart uint8 = 40
+
+func startMsg() sim.Msg { return sim.Msg{Kind: kindStart} }
+
 // host is a minimal process wrapping an Engine over a fixed graph.
 type host struct {
 	id        sim.NodeID
@@ -14,9 +20,11 @@ type host struct {
 	adj       []sim.NodeID
 	candidate bool
 
-	completions []bool        // found flags, in completion order
-	payloads    []sim.Message // Phase II deliveries
-	autoPayload sim.Message   // forwarded automatically on successful search
+	completions []bool    // found flags, in completion order
+	payloads    []Payload // Phase II deliveries
+	// autoForward, when set, forwards autoPayload on successful search.
+	autoForward bool
+	autoPayload Payload
 }
 
 func newHost(t *testing.T, id sim.NodeID, adj []sim.NodeID, candidate bool) *host {
@@ -27,13 +35,13 @@ func newHost(t *testing.T, id sim.NodeID, adj []sim.NodeID, candidate bool) *hos
 		IsCandidate: func() bool { return h.candidate },
 		OnComplete: func(ctx sim.Sender, seq int, found bool) {
 			h.completions = append(h.completions, found)
-			if found && h.autoPayload != nil {
+			if found && h.autoForward {
 				if err := h.eng.ForwardPayload(ctx, seq, h.autoPayload); err != nil {
 					t.Errorf("forward: %v", err)
 				}
 			}
 		},
-		OnPayload: func(_ sim.Sender, payload sim.Message) {
+		OnPayload: func(_ sim.Sender, payload Payload) {
 			h.payloads = append(h.payloads, payload)
 		},
 	})
@@ -44,11 +52,11 @@ func newHost(t *testing.T, id sim.NodeID, adj []sim.NodeID, candidate bool) *hos
 	return h
 }
 
-func (h *host) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+func (h *host) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
 	if h.eng.Handle(ctx, from, msg) {
 		return
 	}
-	if msg == "start" {
+	if msg.Kind == kindStart {
 		h.eng.StartSearch(ctx)
 	}
 }
@@ -85,15 +93,17 @@ func TestSearchFindsReachableCandidate(t *testing.T) {
 	// Path graph 0-1-2-3 with the only candidate at 3.
 	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}}
 	net, hosts := buildNetwork(t, 1, edges, 4, map[int]bool{3: true})
-	hosts[0].autoPayload = "move-to-0"
-	net.Inject(0, "start")
+	want := Payload{A: 1000, B: 42}
+	hosts[0].autoForward = true
+	hosts[0].autoPayload = want
+	net.Inject(0, startMsg())
 	if err := net.Run(10_000); err != nil {
 		t.Fatal(err)
 	}
 	if len(hosts[0].completions) != 1 || !hosts[0].completions[0] {
 		t.Fatalf("initiator completions %v", hosts[0].completions)
 	}
-	if len(hosts[3].payloads) != 1 || hosts[3].payloads[0] != "move-to-0" {
+	if len(hosts[3].payloads) != 1 || hosts[3].payloads[0] != want {
 		t.Fatalf("candidate payloads %v", hosts[3].payloads)
 	}
 	for i := 1; i <= 2; i++ {
@@ -106,7 +116,7 @@ func TestSearchFindsReachableCandidate(t *testing.T) {
 func TestSearchNoCandidate(t *testing.T) {
 	edges := [][2]int{{0, 1}, {1, 2}}
 	net, hosts := buildNetwork(t, 2, edges, 3, nil)
-	net.Inject(0, "start")
+	net.Inject(0, startMsg())
 	if err := net.Run(10_000); err != nil {
 		t.Fatal(err)
 	}
@@ -117,7 +127,7 @@ func TestSearchNoCandidate(t *testing.T) {
 
 func TestSearchIsolatedInitiator(t *testing.T) {
 	net, hosts := buildNetwork(t, 3, nil, 1, nil)
-	net.Inject(0, "start")
+	net.Inject(0, startMsg())
 	if err := net.Run(100); err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +140,7 @@ func TestCandidateNotReachable(t *testing.T) {
 	// Two components: 0-1 and 2-3; candidate only in the far component.
 	edges := [][2]int{{0, 1}, {2, 3}}
 	net, hosts := buildNetwork(t, 4, edges, 4, map[int]bool{3: true})
-	net.Inject(0, "start")
+	net.Inject(0, startMsg())
 	if err := net.Run(10_000); err != nil {
 		t.Fatal(err)
 	}
@@ -145,12 +155,12 @@ func TestRepeatedSearchesBySameInitiator(t *testing.T) {
 	// second search must report not-found.
 	edges := [][2]int{{0, 1}, {1, 2}}
 	net, hosts := buildNetwork(t, 5, edges, 3, map[int]bool{2: true})
-	net.Inject(0, "start")
+	net.Inject(0, startMsg())
 	if err := net.Run(10_000); err != nil {
 		t.Fatal(err)
 	}
 	hosts[2].candidate = false
-	net.Inject(0, "start")
+	net.Inject(0, startMsg())
 	if err := net.Run(10_000); err != nil {
 		t.Fatal(err)
 	}
@@ -187,8 +197,9 @@ func TestRandomGraphsAlwaysTerminateAndAreCorrect(t *testing.T) {
 			}
 		}
 		net, hosts := buildNetwork(t, int64(trial), edges, n, candidates)
-		hosts[0].autoPayload = "claim"
-		net.Inject(0, "start")
+		hosts[0].autoForward = true
+		hosts[0].autoPayload = Payload{A: uint32(trial), B: 9}
+		net.Inject(0, startMsg())
 		if err := net.Run(1_000_000); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -222,8 +233,8 @@ func TestMessageComplexityLinearInEdges(t *testing.T) {
 		edges = append(edges, [2]int{i - 1, i})
 	}
 	net, hosts := buildNetwork(t, 9, edges, n, map[int]bool{n - 1: true})
-	hosts[0].autoPayload = "p"
-	net.Inject(0, "start")
+	hosts[0].autoForward = true
+	net.Inject(0, startMsg())
 	if err := net.Run(1_000_000); err != nil {
 		t.Fatal(err)
 	}
@@ -236,30 +247,30 @@ func TestMessageComplexityLinearInEdges(t *testing.T) {
 func TestForwardPayloadErrors(t *testing.T) {
 	edges := [][2]int{{0, 1}}
 	net, hosts := buildNetwork(t, 11, edges, 2, nil)
-	net.Inject(0, "start")
+	net.Inject(0, startMsg())
 	if err := net.Run(1000); err != nil {
 		t.Fatal(err)
 	}
 	// Search failed (no candidates): forwarding must error.
 	fake := &fakeSender{self: 0}
-	if err := hosts[0].eng.ForwardPayload(fake, 1, "x"); err == nil {
+	if err := hosts[0].eng.ForwardPayload(fake, 1, Payload{A: 1}); err == nil {
 		t.Error("forwarding without a candidate should fail")
 	}
-	if err := hosts[0].eng.ForwardPayload(fake, 99, "x"); err == nil {
+	if err := hosts[0].eng.ForwardPayload(fake, 99, Payload{A: 1}); err == nil {
 		t.Error("forwarding an unknown seq should fail")
 	}
-	if err := hosts[1].eng.ForwardPayload(&fakeSender{self: 1}, 1, "x"); err == nil {
+	if err := hosts[1].eng.ForwardPayload(&fakeSender{self: 1}, 1, Payload{A: 1}); err == nil {
 		t.Error("non-initiator forwarding should fail")
 	}
 }
 
 type fakeSender struct {
 	self sim.NodeID
-	sent []sim.Message
+	sent []sim.Msg
 }
 
 func (f *fakeSender) Self() sim.NodeID { return f.self }
-func (f *fakeSender) Send(_ sim.NodeID, msg sim.Message) {
+func (f *fakeSender) Send(_ sim.NodeID, msg sim.Msg) {
 	f.sent = append(f.sent, msg)
 }
 
@@ -279,7 +290,7 @@ func TestStateTransitions(t *testing.T) {
 			t.Fatalf("node %d initial state %v", h.id, h.eng.State())
 		}
 	}
-	net.Inject(0, "start")
+	net.Inject(0, startMsg())
 	if err := net.Run(10_000); err != nil {
 		t.Fatal(err)
 	}
@@ -298,7 +309,7 @@ func TestStateTransitions(t *testing.T) {
 func TestEngineResetMatchesFresh(t *testing.T) {
 	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}}
 	run := func(net *sim.Network, hosts []*host) (bool, int64) {
-		net.Inject(0, "start")
+		net.Inject(0, startMsg())
 		if err := net.Run(10_000); err != nil {
 			t.Fatal(err)
 		}

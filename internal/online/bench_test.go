@@ -138,8 +138,9 @@ func BenchmarkOnlineRunWarm(b *testing.B) {
 
 // BenchmarkOnlineRunMonitoringWarm is BenchmarkOnlineRunMonitoring on one
 // long-lived runner reset per episode — the sweep engine's steady state for
-// monitored scenarios. With the shared boxed round/existing messages and the
-// reused heard maps, the per-arrival monitoring waves allocate nothing.
+// monitored scenarios. With inline round/existing messages written straight
+// into mailbox slots and the reused heard maps, the per-arrival monitoring
+// waves allocate nothing.
 func BenchmarkOnlineRunMonitoringWarm(b *testing.B) {
 	arena := grid.MustNew(8, 8)
 	jobs := make([]grid.Point, 60)

@@ -117,18 +117,6 @@ type Runner struct {
 	deadEvents []deadEvent
 	nextDead   int
 
-	// Shared boxed protocol messages, built once per runner (same trick as
-	// the diffusion engine's shared Query/Reply). The real allocation win
-	// is existingMsg: an existing{PairID} carries payload, so re-boxing it
-	// per heartbeat answer used to cost one heap object per active pair per
-	// round. hbMsg/ckMsg box zero-size structs — which the compiler already
-	// boxes allocation-free — and are kept only so every monitoring message
-	// flows through one uniform shared-box scheme. Safe because boxed
-	// messages are never mutated and message identity never enters the
-	// scheduler's RNG stream.
-	hbMsg       sim.Message
-	ckMsg       sim.Message
-	existingMsg []sim.Message // pair index -> boxed existing{PairID}
 	// allNodes is the arena-index-ordered id list the monitoring waves
 	// inject to (the order is part of the deterministic schedule).
 	allNodes []sim.NodeID
@@ -251,13 +239,11 @@ func NewRunner(opts Options) (*Runner, error) {
 			OnComplete: func(ctx sim.Sender, seq int, found bool) {
 				v.onSearchComplete(ctx, seq, found)
 			},
-			OnPayload: func(ctx sim.Sender, payload sim.Message) {
-				order, ok := payload.(moveOrder)
-				if !ok {
-					r.failf("vehicle %v: bad payload %T", v.home, payload)
-					return
-				}
-				v.onMoveOrder(ctx, order)
+			OnPayload: func(ctx sim.Sender, payload diffuse.Payload) {
+				v.onMoveOrder(ctx, moveOrder{
+					Dest:   opts.Arena.PointAt(int64(payload.A)),
+					PairID: int(payload.B),
+				})
 			},
 		})
 		if err != nil {
@@ -268,12 +254,6 @@ func NewRunner(opts Options) (*Runner, error) {
 		if err := r.net.Add(id, v); err != nil {
 			return nil, err
 		}
-	}
-	r.hbMsg = heartbeatRound{}
-	r.ckMsg = checkRound{}
-	r.existingMsg = make([]sim.Message, len(part.Pairs()))
-	for i := range r.existingMsg {
-		r.existingMsg[i] = existing{PairID: i}
 	}
 	r.allNodes = make([]sim.NodeID, opts.Arena.Len())
 	for i := range r.allNodes {
@@ -467,7 +447,8 @@ func (r *Runner) Run(seq *demand.Sequence) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("online: arrival %v outside arena", pos)
 		}
-		r.net.Inject(r.pairActive[pairID], serveJob{Pos: pos})
+		r.net.Inject(r.pairActive[pairID],
+			sim.Msg{Kind: msgServeJob, A: uint32(r.opts.Arena.Index(pos))})
 		if err := r.quiesce(); err != nil {
 			return nil, err
 		}
@@ -498,16 +479,17 @@ func (r *Runner) quiesce() error {
 
 // monitorRound performs one heartbeat exchange followed by one check pass
 // (the run-to-quiescence analogue of "send existing messages periodically;
-// decide the neighbor is done after a timeout"). Both waves batch-inject the
-// runner's shared boxed round message in arena-index order (identical to
-// point enumeration order; a map iteration here would break run
-// reproducibility by perturbing the delivery scheduler's RNG stream).
+// decide the neighbor is done after a timeout"). Both waves batch-inject one
+// inline round message in arena-index order (identical to point enumeration
+// order; a map iteration here would break run reproducibility by perturbing
+// the delivery scheduler's RNG stream), written straight into each mailbox's
+// cached injection slot by InjectMany.
 func (r *Runner) monitorRound() error {
-	r.net.InjectMany(r.allNodes, r.hbMsg)
+	r.net.InjectMany(r.allNodes, sim.Msg{Kind: msgHeartbeatRound})
 	if err := r.quiesce(); err != nil {
 		return err
 	}
-	r.net.InjectMany(r.allNodes, r.ckMsg)
+	r.net.InjectMany(r.allNodes, sim.Msg{Kind: msgCheckRound})
 	return r.quiesce()
 }
 

@@ -37,24 +37,31 @@ func (s WorkState) String() string {
 	}
 }
 
-// Protocol messages beyond the diffuse package's Query/Reply/Forward.
-type (
-	// serveJob commands the receiving vehicle to serve one job at Pos.
-	serveJob struct{ Pos grid.Point }
-	// moveOrder is the Phase II payload: relocate to Dest and take over
-	// service of pair PairID.
-	moveOrder struct {
-		Dest   grid.Point
-		PairID int
-	}
-	// heartbeatRound tells an active vehicle to emit its Existing message.
-	heartbeatRound struct{}
-	// existing is the Section 3.2.5 liveness beacon from the active vehicle
-	// of PairID to its watcher.
-	existing struct{ PairID int }
-	// checkRound tells a watcher to act on heartbeats missed this round.
-	checkRound struct{}
+// Message kinds owned by the online layer (range 16..31 of the sim.Msg kind
+// space; 1..15 belongs to package diffuse). Operand layout per kind:
+//
+//	msgServeJob       — A: arena index of the job position (the vehicle
+//	                    decodes it through Arena.PointAt)
+//	msgHeartbeatRound — no operands; tells an active vehicle to emit its
+//	                    Existing beacon
+//	msgExisting       — A: pair id; the Section 3.2.5 liveness beacon from
+//	                    that pair's active vehicle to its watcher
+//	msgCheckRound     — no operands; tells a watcher to act on heartbeats
+//	                    missed this round
+const (
+	msgServeJob uint8 = iota + 16
+	msgHeartbeatRound
+	msgExisting
+	msgCheckRound
 )
+
+// moveOrder is the decoded Phase II payload: relocate to Dest and take over
+// service of pair PairID. On the wire it is a diffuse.Payload whose A word
+// is Dest's arena index and whose B word is PairID.
+type moveOrder struct {
+	Dest   grid.Point
+	PairID int
+}
 
 // serveCost is the worst-case energy to process one job: walk at most
 // distance 1 to the partner vertex plus 1 unit of service (Section 3.2.2).
@@ -96,24 +103,24 @@ type vehicle struct {
 
 var _ sim.Process = (*vehicle)(nil)
 
-func (v *vehicle) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
+func (v *vehicle) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
 	if v.eng.Handle(ctx, from, msg) {
 		return
 	}
-	switch m := msg.(type) {
-	case serveJob:
-		v.onServe(ctx, m.Pos)
-	case heartbeatRound:
+	switch msg.Kind {
+	case msgServeJob:
+		v.onServe(ctx, v.r.opts.Arena.PointAt(int64(msg.A)))
+	case msgHeartbeatRound:
 		v.onHeartbeat(ctx)
-	case existing:
+	case msgExisting:
 		if v.heard == nil {
 			v.heard = make(map[int]bool)
 		}
-		v.heard[m.PairID] = true
-	case checkRound:
+		v.heard[int(msg.A)] = true
+	case msgCheckRound:
 		v.onCheck(ctx)
 	default:
-		v.r.failf("vehicle %v: unexpected message %T", v.home, msg)
+		v.r.failf("vehicle %v: unexpected message kind %d", v.home, msg.Kind)
 	}
 }
 
@@ -199,7 +206,11 @@ func (v *vehicle) onSearchComplete(ctx sim.Sender, seq int, found bool) {
 			fmt.Sprintf("for pair %d", pairID))
 		return
 	}
-	if err := v.eng.ForwardPayload(ctx, seq, moveOrder{Dest: v.searchDest, PairID: pairID}); err != nil {
+	payload := diffuse.Payload{
+		A: uint32(v.r.opts.Arena.Index(v.searchDest)),
+		B: uint32(pairID),
+	}
+	if err := v.eng.ForwardPayload(ctx, seq, payload); err != nil {
 		v.r.failf("vehicle %v: forward payload: %v", v.home, err)
 	}
 }
@@ -255,10 +266,7 @@ func (v *vehicle) onHeartbeat(ctx *sim.Context) {
 	if watcher == v.id {
 		return
 	}
-	// The runner keeps one boxed existing message per pair; reusing it makes
-	// the heartbeat wave allocation-free (message content is identical, so
-	// the delivery schedule cannot tell).
-	ctx.Send(watcher, v.r.existingMsg[v.pairID])
+	ctx.Send(watcher, sim.Msg{Kind: msgExisting, A: uint32(v.pairID)})
 }
 
 // onCheck inspects the heartbeats gathered since the last round and starts

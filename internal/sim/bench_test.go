@@ -5,12 +5,11 @@ import "testing"
 // relay forwards a hop counter around a ring.
 type relay struct{ next NodeID }
 
-func (r relay) OnMessage(ctx *Context, _ NodeID, msg Message) {
-	k, ok := msg.(int)
-	if !ok || k <= 0 {
+func (r relay) OnMessage(ctx *Context, _ NodeID, msg Msg) {
+	if msg.Kind != kindToken || msg.A == 0 {
 		return
 	}
-	ctx.Send(r.next, k-1)
+	ctx.Send(r.next, token(msg.A-1))
 }
 
 // BenchmarkMessageThroughput measures raw simulator delivery rate on a
@@ -26,7 +25,7 @@ func BenchmarkMessageThroughput(b *testing.B) {
 			}
 		}
 		for j := 0; j < 8; j++ {
-			n.Inject(NodeID(j*7%ring), 1000)
+			n.Inject(NodeID(j*7%ring), token(1000))
 		}
 		if err := n.Run(10_000); err != nil {
 			b.Fatal(err)
@@ -36,8 +35,8 @@ func BenchmarkMessageThroughput(b *testing.B) {
 
 // BenchmarkMessageThroughputWarm is BenchmarkMessageThroughput on one
 // long-lived network reset per iteration: the steady state of the online
-// layer's warm-started capacity probes. With integer payloads interned by
-// the runtime, a warm episode is allocation-free.
+// layer's warm-started capacity probes. Messages are inline Msg values in
+// retained ring buffers, so a warm episode performs zero allocations.
 func BenchmarkMessageThroughputWarm(b *testing.B) {
 	const ring = 64
 	n := NewNetwork(1)
@@ -51,7 +50,7 @@ func BenchmarkMessageThroughputWarm(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		n.Reset(1)
 		for j := 0; j < 8; j++ {
-			n.Inject(NodeID(j*7%ring), 1000)
+			n.Inject(NodeID(j*7%ring), token(1000))
 		}
 		if err := n.Run(10_000); err != nil {
 			b.Fatal(err)

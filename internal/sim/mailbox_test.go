@@ -21,8 +21,8 @@ func TestReadyListExactUnderDrainRefill(t *testing.T) {
 		// empty->nonempty must add exactly one ready entry and each drain
 		// must remove exactly that entry.
 		for k := 0; k < 3; k++ {
-			n.Inject(0, cycle*10+k)
-			n.Inject(1, cycle*10+k)
+			n.Inject(0, token(uint32(cycle*10+k)))
+			n.Inject(1, token(uint32(cycle*10+k)))
 		}
 		if got := len(n.ready); got != 2 {
 			t.Fatalf("cycle %d: ready has %d entries, want 2", cycle, got)
@@ -47,10 +47,10 @@ func TestReadyListExactUnderDrainRefill(t *testing.T) {
 // leaves the ready list, and re-enters it during the same Step).
 type reEnqueuer struct{ budget int }
 
-func (r *reEnqueuer) OnMessage(ctx *Context, from NodeID, msg Message) {
+func (r *reEnqueuer) OnMessage(ctx *Context, from NodeID, msg Msg) {
 	if r.budget > 0 {
 		r.budget--
-		ctx.Send(ctx.Self(), "again")
+		ctx.Send(ctx.Self(), text(0))
 	}
 }
 
@@ -60,7 +60,7 @@ func TestDrainRefillWithinStep(t *testing.T) {
 	if err := n.Add(0, p); err != nil {
 		t.Fatal(err)
 	}
-	n.Inject(0, "go")
+	n.Inject(0, text(0))
 	if err := n.Run(1000); err != nil {
 		t.Fatal(err)
 	}
@@ -75,8 +75,8 @@ func TestDrainRefillWithinStep(t *testing.T) {
 // badSender fires one message to an invalid (negative) node id.
 type badSender struct{}
 
-func (badSender) OnMessage(ctx *Context, _ NodeID, _ Message) {
-	ctx.Send(-5, "lost")
+func (badSender) OnMessage(ctx *Context, _ NodeID, _ Msg) {
+	ctx.Send(-5, text(0))
 }
 
 // TestBadSendSurfacesAtStepBudget checks that a send to an invalid node id
@@ -88,7 +88,7 @@ func TestBadSendSurfacesAtStepBudget(t *testing.T) {
 	if err := n.Add(0, badSender{}); err != nil {
 		t.Fatal(err)
 	}
-	n.Inject(0, "go")
+	n.Inject(0, text(0))
 	// Budget of exactly 1: the only delivery triggers the bad send and
 	// drains the ready list in the same step.
 	if err := n.Run(1); err == nil {
@@ -99,7 +99,7 @@ func TestBadSendSurfacesAtStepBudget(t *testing.T) {
 	if err := n2.Add(0, badSender{}); err != nil {
 		t.Fatal(err)
 	}
-	n2.Inject(0, "go")
+	n2.Inject(0, text(0))
 	if err := n2.Run(100); err == nil {
 		t.Fatal("bad send must surface on the following step")
 	}
@@ -113,11 +113,11 @@ func TestRingBufferWrap(t *testing.T) {
 	if err := n.Add(0, sink); err != nil {
 		t.Fatal(err)
 	}
-	next := 0
+	next := uint32(0)
 	for round := 0; round < 5; round++ {
 		// Uneven push/drain phases force head to wander through the buffer.
 		for k := 0; k < 3+round*5; k++ {
-			n.Inject(0, next)
+			n.Inject(0, token(next))
 			next++
 		}
 		for k := 0; k < 2; k++ {
@@ -130,11 +130,11 @@ func TestRingBufferWrap(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i, got := range sink.got {
-		if got != i {
+		if got.A != uint32(i) {
 			t.Fatalf("FIFO violated at %d: got %v", i, got)
 		}
 	}
-	if len(sink.got) != next {
+	if len(sink.got) != int(next) {
 		t.Fatalf("delivered %d of %d", len(sink.got), next)
 	}
 }

@@ -25,7 +25,7 @@ func TestResetIdenticalToFresh(t *testing.T) {
 		return n, procs
 	}
 	drive := func(n *Network) int64 {
-		n.Inject(0, 50)
+		n.Inject(0, token(50))
 		if err := n.Run(10_000); err != nil {
 			t.Fatal(err)
 		}
@@ -59,7 +59,7 @@ func TestResetMidFlight(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 20; i++ {
-		n.Inject(0, i)
+		n.Inject(0, token(uint32(i)))
 	}
 	// Deliver only a few, leaving the rest in flight.
 	for i := 0; i < 5; i++ {
@@ -77,11 +77,11 @@ func TestResetMidFlight(t *testing.T) {
 	}
 	// The dropped messages must never arrive; new traffic flows normally.
 	sink.got = nil
-	n.Inject(0, "after")
+	n.Inject(0, text(777))
 	if err := n.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if len(sink.got) != 1 || sink.got[0] != "after" {
+	if len(sink.got) != 1 || sink.got[0] != text(777) {
 		t.Fatalf("post-reset delivery got %v", sink.got)
 	}
 }
@@ -96,7 +96,7 @@ func TestResetAfterStepLimit(t *testing.T) {
 	if err := n.Add(2, &silentProc{}); err != nil {
 		t.Fatal(err)
 	}
-	n.Inject(1, "spin")
+	n.Inject(1, text(1))
 	if err := n.Run(100); !errors.Is(err, ErrStepLimit) {
 		t.Fatalf("want ErrStepLimit, got %v", err)
 	}
@@ -104,7 +104,7 @@ func TestResetAfterStepLimit(t *testing.T) {
 	if n.Pending() != 0 {
 		t.Fatalf("reset left %d pending messages", n.Pending())
 	}
-	n.Inject(2, "ok")
+	n.Inject(2, text(2))
 	if err := n.Run(100); err != nil {
 		t.Fatalf("post-reset run: %v", err)
 	}
@@ -119,12 +119,12 @@ func TestResetAfterBadSend(t *testing.T) {
 	if err := n.Add(0, &silentProc{}); err != nil {
 		t.Fatal(err)
 	}
-	n.Inject(None, "dropped")
+	n.Inject(None, text(0))
 	if _, err := n.Step(); err == nil {
 		t.Fatal("bad send must surface on Step")
 	}
 	n.Reset(7)
-	n.Inject(0, "fine")
+	n.Inject(0, text(1))
 	if err := n.Run(100); err != nil {
 		t.Fatalf("post-reset run: %v", err)
 	}
@@ -146,7 +146,7 @@ func TestResetReusesStorage(t *testing.T) {
 	}
 	drive := func() {
 		for j := 0; j < 4; j++ {
-			n.Inject(NodeID(j*5%ring), 100)
+			n.Inject(NodeID(j*5%ring), token(100))
 		}
 		if err := n.Run(10_000); err != nil {
 			t.Fatal(err)
@@ -157,8 +157,8 @@ func TestResetReusesStorage(t *testing.T) {
 		n.Reset(1)
 		drive()
 	})
-	// Payloads are small ints (interned by the runtime) and all sim storage
-	// is retained, so a warm episode is allocation-free.
+	// Messages are inline values in retained ring buffers, so a warm episode
+	// is allocation-free.
 	if allocs > 0 {
 		t.Errorf("warm reset+run allocated %.1f objects/run, want 0", allocs)
 	}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestIntnMatchesMathRand pins the scheduler's inlined draw against the real
+// math/rand.(*Rand).Intn: same values from the same number of source draws,
+// across power-of-two bounds (mask path), small odd bounds (cached
+// rejection threshold + fastmod path), and bounds that exercise the
+// rejection loop's cache invalidation as k changes between calls.
+func TestIntnMatchesMathRand(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42, 20080527} {
+		// Cold network: draws go through the seeded source (fastOK false).
+		// Reset network: draws go through the captured in-struct generator.
+		// Both must match the reference stream exactly.
+		cold := NewNetwork(seed)
+		warm := NewNetwork(seed)
+		warm.Reset(seed)
+		if !warm.fastOK {
+			t.Logf("seed %d: generator capture unavailable; warm network exercises the fallback path", seed)
+		}
+		ref := rand.New(rand.NewSource(seed))
+		refW := rand.New(rand.NewSource(seed))
+		// Sweep k in a pattern that alternates between bounds so the
+		// single-entry (modK, modMaxv, modM) cache is both hit and replaced.
+		ks := []int{1, 3, 2, 3, 5, 7, 7, 7, 6, 100, 6, 64, 63, 1000, 999, 3}
+		for round := 0; round < 200; round++ {
+			for _, k := range ks {
+				if got, want := cold.intn(k), ref.Intn(k); got != want {
+					t.Fatalf("seed %d round %d: cold intn(%d) = %d, want %d",
+						seed, round, k, got, want)
+				}
+				if got, want := warm.intn(k), refW.Intn(k); got != want {
+					t.Fatalf("seed %d round %d: warm intn(%d) = %d, want %d",
+						seed, round, k, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestReseedMatchesSeed pins the snapshot-copy reseed: a network reset via
+// the pristine-state copy must produce the identical draw stream to one
+// reseeded through rand's Seed, including after switching seeds (which
+// invalidates the snapshot) and switching back.
+func TestReseedMatchesSeed(t *testing.T) {
+	n := NewNetwork(9)
+	stream := func(seed int64) []int {
+		n.Reset(seed)
+		out := make([]int, 50)
+		for i := range out {
+			out[i] = n.intn(5)
+		}
+		return out
+	}
+	want9 := stream(9) // first Reset(9): Seed path + snapshot
+	got9 := stream(9)  // snapshot-copy path
+	want3 := stream(3) // seed switch: Seed path again
+	got9b := stream(9) // back to 9: Seed path (snapshot was replaced)
+	got3 := stream(3)  // and 3 again
+	for i := range want9 {
+		if got9[i] != want9[i] || got9b[i] != want9[i] {
+			t.Fatalf("draw %d: copy-reseed diverged from Seed for seed 9", i)
+		}
+		if got3[i] != want3[i] {
+			t.Fatalf("draw %d: copy-reseed diverged from Seed for seed 3", i)
+		}
+	}
+}
+
+// TestSeedByCopyVerified documents the expectation that the init-time probe
+// accepts the current runtime's generator; if a Go release changes the
+// source's internals such that state copy stops working, this test flags the
+// silent fallback so the optimization can be revisited rather than quietly
+// shelved.
+func TestSeedByCopyVerified(t *testing.T) {
+	if !seedByCopy {
+		t.Log("seed-by-copy disabled: reflect state copy failed verification; Reset falls back to Seed")
+	}
+}

@@ -11,12 +11,21 @@
 // slice, and each node's pending traffic sits in a slice-backed mailbox of
 // per-link ring buffers — no map lookups or per-message allocations on the
 // delivery hot path.
+//
+// Messages are compact tagged values (Msg), stored inline in the ring
+// buffers: the protocol vocabulary above this layer is small and closed, so
+// a kind byte plus a few integer operands replaces the old boxed
+// `interface{}` payloads. Delivery moves plain words — no interface boxing,
+// no pointer chasing, and the buffers are invisible to the garbage
+// collector.
 package sim
 
 import (
 	"errors"
 	"fmt"
+	"math/bits"
 	"math/rand"
+	"reflect"
 )
 
 // NodeID identifies a process in the network. Ids must be non-negative and
@@ -26,130 +35,405 @@ type NodeID int32
 // None is the null node id (used for "no parent" and similar sentinels).
 const None NodeID = -1
 
-// Message is an opaque payload delivered to a process.
-type Message interface{}
+// KindInvalid is the reserved zero message kind. No protocol layer may use
+// it, which makes the zero Msg detectable as "no message" and lets hosts
+// treat kind 0 as a wiring bug.
+const KindInvalid uint8 = 0
+
+// Msg is a compact tagged message: a kind byte plus integer operands,
+// delivered by value. Each layer owns a globally unique range of kinds
+// (package diffuse: 1..15, package online: 16..31, package termination:
+// 240..255; tests use 32..127) and defines what the operands mean per kind.
+//
+// A and B are the primary operands; every single-phase message in the
+// system fits in them (a node id, a sequence number, an arena cell index, a
+// pair id). C and D are extended operands used by messages that relay on
+// behalf of others — the Phase II forward carries its computation identity
+// in A/B and the two payload words in C/D, preserving the boxed
+// implementation's stale-forward drop check without an indirection.
+type Msg struct {
+	Kind uint8
+	// pad aligns the struct to 24 bytes so slice elements copy as three
+	// 8-byte moves instead of split-line 20-byte moves; Msg values move
+	// through ring buffers and the ready array on every hop.
+	_    [7]uint8
+	A, B uint32
+	C, D uint32
+}
 
 // Process is a network participant. Implementations must be deterministic
 // functions of their delivered messages to preserve run reproducibility.
 type Process interface {
 	// OnMessage handles one delivered message. Sends made through ctx are
 	// enqueued, not delivered inline.
-	OnMessage(ctx *Context, from NodeID, msg Message)
+	OnMessage(ctx *Context, from NodeID, msg Msg)
 }
 
 // ErrStepLimit is returned by Run when delivery does not quiesce within the
 // step budget — usually a protocol livelock.
 var ErrStepLimit = errors.New("sim: step limit exceeded before quiescence")
 
-// linkQueue is one directed link's FIFO: a growable ring buffer of payloads
-// from a fixed sender. The sender is constant per queue, so envelopes carry
-// only the message.
+// linkQueue is one directed link's FIFO tail: a growable ring buffer of
+// inline message slots from a fixed sender. The link's HEAD message does not
+// live here — it sits inline in the link's ready-list entry (see Network.ready),
+// so the ring only ever holds overflow (second and later undelivered
+// messages, rare at protocol fan-outs). The sender is constant per queue, so
+// slots carry only the message value; the buffer holds no pointers, so the
+// garbage collector never scans it and a pop is a plain copy.
 type linkQueue struct {
+	// hdMsg is the link's HEAD message, valid while listed. Keeping it here
+	// — not in a parallel array beside the ready list — means listing a
+	// link is one field store plus one 8-byte pointer append, and draining
+	// one is one 8-byte swap-remove; the delivery path reads it from the
+	// same cache line as from/to below. First in the struct so the fields
+	// touched on every delivery share a line.
+	hdMsg Msg
 	from  NodeID
-	buf   []Message // ring buffer; len is a power of two
+	// to and slot are the link's stable logical address: the owning
+	// (destination) node and the index in its link table. Carrying them here
+	// lets a ready-list entry be a single queue pointer (see Network.ready)
+	// instead of a three-field struct, and still supports pointer repair
+	// when the owner's link table reallocates (repairReady reads the stale
+	// copy's address fields).
+	to   NodeID
+	slot int32
+	// listed marks that the link currently owns a ready-list entry (and
+	// that hdMsg holds its head message). Pending messages on the link =
+	// listed(0/1) + count. Grouped with hdMsg/from/to so the fields a send's
+	// 0→1 transition writes share the link's first cache line.
+	listed bool
+	// proc is the owning node's process, copied at link creation (links are
+	// only ever created for registered nodes, and processes are never
+	// replaced). Dispatching through it saves the nodes[to] re-index on
+	// every delivery — the fields a delivery needs all sit in this struct.
+	proc  Process
+	buf   []Msg // ring buffer; len is a power of two
 	head  int32
 	count int32
 }
 
-func (q *linkQueue) push(m Message) {
+func (q *linkQueue) push(m Msg) {
 	if int(q.count) == len(q.buf) {
-		grown := make([]Message, max(4, 2*len(q.buf)))
-		for i := int32(0); i < q.count; i++ {
-			grown[i] = q.buf[(q.head+i)&int32(len(q.buf)-1)]
-		}
-		q.buf = grown
-		q.head = 0
+		q.grow()
 	}
-	q.buf[(q.head+q.count)&int32(len(q.buf)-1)] = m
+	q.buf[uint32(q.head+q.count)&uint32(len(q.buf)-1)] = m
 	q.count++
 }
 
-func (q *linkQueue) pop() Message {
+// grow doubles the ring, unwrapping it to the front of the new buffer. Kept
+// out of push — and out of push's inlining budget — so the hot no-grow path
+// inlines into enqueue.
+//
+//go:noinline
+func (q *linkQueue) grow() {
+	grown := make([]Msg, max(4, 2*len(q.buf)))
+	for i := int32(0); i < q.count; i++ {
+		grown[i] = q.buf[uint32(q.head+i)&uint32(len(q.buf)-1)]
+	}
+	q.buf = grown
+	q.head = 0
+}
+
+func (q *linkQueue) pop() Msg {
 	m := q.buf[q.head]
-	q.buf[q.head] = nil // release the payload reference
 	q.head = (q.head + 1) & int32(len(q.buf)-1)
 	q.count--
 	return m
 }
 
-// mailbox holds one destination node's incoming links. The link table is
-// append-only, so a link's slot index is stable for the network's lifetime;
-// fan-in equals the node's degree in the communication graph, so the
-// linear slot scan on send is over a handful of entries.
-type mailbox struct {
+// node is one registered process together with its incoming links — the
+// mailbox. Keeping the process, link table, and injection cache in one
+// struct means a send's validation, slot lookup, and push all walk from a
+// single slice element, typically one cache line per destination. The link
+// table is append-only, so a link's slot index is stable for the network's
+// lifetime; fan-in equals the node's degree in the communication graph, so
+// the linear slot scan on send is over a handful of entries.
+type node struct {
+	proc  Process
 	links []linkQueue
+	// injectSlot caches 1 + the slot index of the None (external-injection)
+	// link, so full-arena injection waves skip the slot scan entirely; 0
+	// means not yet resolved. Slots are stable, so the cache never
+	// invalidates — not even across Reset.
+	injectSlot int32
+	// recvSlot caches the slot that matched the last in-protocol send to
+	// this node. Steady flows (a token circling a ring, a heartbeat chain)
+	// hit it every time even when slot 0 belongs to another sender — e.g.
+	// an injection link created before the protocol's. A miss falls back to
+	// the queueFor scan, which refreshes the cache; slots are stable, so a
+	// hit can never be wrong, only stale.
+	recvSlot int32
 }
 
-func (mb *mailbox) slot(from NodeID) int32 {
-	for i := range mb.links {
-		if mb.links[i].from == from {
-			return int32(i)
+// alfg mirrors math/rand's additive lagged Fibonacci generator
+// (x_i = x_{i-273} + x_{i-607}, wrapping int64 addition) so the scheduler
+// can draw without an interface call per delivery. Its state is never
+// computed from scratch: captureALFG recovers it from a seeded source's own
+// output stream and verifies it draw-for-draw, so this stays exact or is
+// not used at all.
+type alfg struct {
+	tap, feed int32
+	vec       [alfgLen]int64
+}
+
+const (
+	alfgLen = 607 // math/rand rngLen
+	alfgTap = 273 // math/rand rngTap
+)
+
+// next is rngSource.Int63, inlined: one masked draw, no interface call.
+func (f *alfg) next() int64 {
+	t, fd := f.tap-1, f.feed-1
+	if t < 0 {
+		t += alfgLen
+	}
+	if fd < 0 {
+		fd += alfgLen
+	}
+	x := f.vec[fd] + f.vec[t]
+	f.vec[fd] = x
+	f.tap, f.feed = t, fd
+	return x & (1<<63 - 1)
+}
+
+// prev inverts one draw (the additive update is bijective), used by
+// captureALFG to rewind the draws it spent on capture and verification.
+func (f *alfg) prev() {
+	f.vec[f.feed] -= f.vec[f.tap]
+	f.feed++
+	if f.feed >= alfgLen {
+		f.feed = 0
+	}
+	f.tap++
+	if f.tap >= alfgLen {
+		f.tap = 0
+	}
+}
+
+// captureALFG reconstructs a just-seeded source's generator state into f.
+// Every draw of the real generator returns the state word it just wrote, so
+// draining one full period's worth of outputs IS the state — no access to
+// math/rand internals. The copy is then verified in lockstep against the
+// source and rewound to the post-seed state. Returns false (and leaves the
+// source's state spent — the caller must re-Seed) if the source is not the
+// generator this mirrors.
+func captureALFG(src rand.Source, f *alfg) bool {
+	s64, ok := src.(rand.Source64)
+	if !ok {
+		return false
+	}
+	f.tap, f.feed = 0, alfgLen-alfgTap // rngSource.Seed's start positions
+	for i := 0; i < alfgLen; i++ {
+		// Draw i overwrote the feed slot for that step.
+		slot := (int(f.feed) - 1 - i) % alfgLen
+		if slot < 0 {
+			slot += alfgLen
+		}
+		f.vec[slot] = int64(s64.Uint64())
+	}
+	const verify = 200
+	for i := 0; i < verify; i++ {
+		f.next()
+		if uint64(f.vec[f.feed]) != s64.Uint64() {
+			return false
 		}
 	}
-	mb.links = append(mb.links, linkQueue{from: from})
-	return int32(len(mb.links) - 1)
-}
-
-// readyRef addresses one nonempty link: destination node and slot in its
-// mailbox's link table.
-type readyRef struct {
-	to   NodeID
-	slot int32
+	for i := 0; i < alfgLen+verify; i++ {
+		f.prev()
+	}
+	return true
 }
 
 // Network owns the processes and undelivered messages. It is single
 // threaded: determinism comes free and the package is safe exactly when a
 // Network is confined to one goroutine.
 type Network struct {
-	src       rand.Source
-	rng       *rand.Rand
-	procs     []Process  // dense, indexed by NodeID
-	boxes     []mailbox  // dense, indexed by destination NodeID
-	ready     []readyRef // exact set of nonempty links
+	src   rand.Source
+	nodes []node // dense, indexed by NodeID
+	// ready is the exact set of nonempty links, as direct queue pointers —
+	// one 8-byte store to list a link, one 8-byte move on swap-remove. The
+	// pointed-to linkQueue carries its own (to, slot) logical address, which
+	// is how the pointer is repaired if the destination's link table
+	// reallocates (see repairReady).
+	ready     []*linkQueue
 	delivered int64
 	sent      int64
-	// badSend records the first send to a negative node id; surfaced as an
-	// error on the next Step (matching the map-era "unknown node" behavior
-	// of erroring at delivery time, not send time).
+	// badSend records the first send to an invalid or unknown node id;
+	// surfaced as an error on the next Step (deferred, like the map-era
+	// "unknown node" behavior of erroring at delivery time, not send time).
 	badSend error
 	// ctx is the single delivery context, handed to every OnMessage with
 	// only its self field rewritten — one pooled struct instead of one heap
 	// allocation per delivered message.
 	ctx Context
+	// modK/modMaxv/modM cache intn's per-bound constants for the last
+	// non-power-of-two draw bound: the rejection threshold exactly as
+	// math/rand.Int31n computes it, and the ⌈2⁶⁴/modK⌉ fixed-point magic
+	// that turns the final modulo into two multiplies. Ready-list lengths
+	// repeat heavily, so the two divisions behind these values are paid
+	// roughly once per length instead of once per delivery.
+	modK    int32
+	modMaxv int32
+	modM    uint64
+	// pristine holds a snapshot of the source's internal state right after
+	// seeding with pristineSeed, so the warm-start path can reseed by a
+	// plain state copy instead of math/rand's 607-round seed scramble.
+	// Only used when seedByCopy verified the technique at init (see below)
+	// and the faster captured-generator path below is unavailable.
+	pristine     reflect.Value
+	pristineSeed int64
+	havePristine bool
+	// fast is the in-struct mirror of the seeded generator (see alfg),
+	// active when fastOK: scheduler draws then run inline with no interface
+	// call, and a warm Reset restores fastPristine (the post-Seed state)
+	// with a plain copy. When capture fails, draws go through src.
+	fast         alfg
+	fastPristine alfg
+	fastOK       bool
 }
 
 // NewNetwork creates an empty network with the given determinism seed.
 func NewNetwork(seed int64) *Network {
-	src := rand.NewSource(seed)
-	n := &Network{src: src, rng: rand.New(src)}
+	n := &Network{src: rand.NewSource(seed)}
 	n.ctx.net = n
 	return n
+}
+
+// seedByCopy reports whether reseeding a math/rand source by copying a
+// snapshot of its just-seeded state (via reflect) reproduces the stream of a
+// freshly seeded source. Verified once at init against the real generator;
+// if the runtime's source ever stops being a plain state struct this turns
+// false and Reset falls back to Seed. The copy replaces a reseed costing
+// 607 multiplicative scramble rounds with a ~5KB memmove.
+var seedByCopy = verifySeedByCopy()
+
+func verifySeedByCopy() (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	src := rand.NewSource(20080527)
+	v := reflect.ValueOf(src)
+	if v.Kind() != reflect.Ptr {
+		return false
+	}
+	snap := reflect.New(v.Type().Elem()).Elem()
+	snap.Set(v.Elem())
+	want := make([]int64, 64)
+	for i := range want {
+		want[i] = src.Int63()
+	}
+	v.Elem().Set(snap) // roll back and replay
+	for i := range want {
+		if src.Int63() != want[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// intn replicates math/rand.(*Rand).Intn over the network's source — the
+// exact same values from the exact same number of source draws, minus the
+// wrapper layers the profile showed on the delivery hot path. k is a ready-
+// list length: always ≥ 1 and far below 2³¹, so only the Int31n shape of
+// Intn is needed. intn(1) deterministically returns 0 but still consumes
+// one draw, which is what keeps burst delivery stream-aligned (see Run).
+func (n *Network) intn(k int) int {
+	fast := n.fastOK // hoisted: draws below branch without re-loading
+	kk := int32(k)
+	if kk&(kk-1) == 0 { // power of two (including k == 1): mask, one draw
+		var x int64
+		if fast {
+			x = n.fast.next()
+		} else {
+			x = n.src.Int63()
+		}
+		return int(int32(x>>32) & (kk - 1))
+	}
+	if kk != n.modK {
+		n.modK = kk
+		n.modMaxv = int32((1 << 31) - 1 - (1<<31)%uint32(kk))
+		n.modM = ^uint64(0)/uint64(kk) + 1
+	}
+	var x int64
+	if fast {
+		x = n.fast.next()
+	} else {
+		x = n.src.Int63()
+	}
+	v := int32(x >> 32)
+	for v > n.modMaxv {
+		if fast {
+			x = n.fast.next()
+		} else {
+			x = n.src.Int63()
+		}
+		v = int32(x >> 32)
+	}
+	// v % kk by Lemire's exact fastmod: for kk < 2³² and M = ⌈2⁶⁴/kk⌉,
+	// ((M·v mod 2⁶⁴)·kk) >> 64 == v mod kk for every 32-bit v — two
+	// multiplies instead of a hardware divide on the delivery hot path.
+	hi, _ := bits.Mul64(n.modM*uint64(uint32(v)), uint64(kk))
+	return int(hi)
 }
 
 // Reset returns the network to its just-constructed state while retaining
 // all storage, so a reused network allocates nothing on re-run: registered
 // processes stay, every mailbox keeps its link table and each link keeps
-// its ring-buffer capacity (pending payload references are released), the
-// ready list is cleared in place, the delivery counters and the bad-send
-// latch are zeroed, and the RNG is reseeded. A reset network runs
-// bit-for-bit identically to a freshly built one with the same seed and
-// processes.
+// its ring-buffer capacity (pending message slots are simply forgotten —
+// they hold no pointers), the ready list is cleared in place, the delivery
+// counters and the bad-send latch are zeroed, and the RNG is reseeded. A
+// reset network runs bit-for-bit identically to a freshly built one with
+// the same seed and processes.
 func (n *Network) Reset(seed int64) {
-	n.src.Seed(seed)
-	for b := range n.boxes {
-		links := n.boxes[b].links
+	n.reseed(seed)
+	for b := range n.nodes {
+		links := n.nodes[b].links
 		for l := range links {
-			q := &links[l]
-			for q.count > 0 {
-				q.pop() // pop nils stored refs so payloads are collectable
-			}
-			q.head = 0
+			links[l].listed = false
+			links[l].head = 0
+			links[l].count = 0
 		}
 	}
 	n.ready = n.ready[:0]
 	n.delivered = 0
 	n.sent = 0
 	n.badSend = nil
+}
+
+// reseed puts the source in the same state Seed(seed) would, preferring a
+// snapshot copy when the same seed repeats — the warm sweep engine resets
+// thousands of episodes with one seed, and the copy is ~20x cheaper than
+// math/rand's seed scramble. The first Reset with a new seed pays one Seed
+// plus one snapshot allocation; warm repeats allocate nothing.
+func (n *Network) reseed(seed int64) {
+	if n.fastOK && n.pristineSeed == seed {
+		n.fast = n.fastPristine
+		return
+	}
+	n.src.Seed(seed)
+	if captureALFG(n.src, &n.fast) {
+		n.fastPristine = n.fast
+		n.fastOK = true
+		n.havePristine = false
+		n.pristineSeed = seed
+		return
+	}
+	n.fastOK = false
+	// Capture spends draws; restore the pristine seeded state.
+	n.src.Seed(seed)
+	if seedByCopy {
+		if n.havePristine && n.pristineSeed == seed {
+			reflect.ValueOf(n.src).Elem().Set(n.pristine)
+			return
+		}
+		v := reflect.ValueOf(n.src)
+		n.pristine = reflect.New(v.Type().Elem()).Elem()
+		n.pristine.Set(v.Elem())
+		n.pristineSeed = seed
+		n.havePristine = true
+	}
 }
 
 // Add registers a process under id.
@@ -160,13 +444,13 @@ func (n *Network) Add(id NodeID, p Process) error {
 	if id < 0 {
 		return fmt.Errorf("sim: node id %d must be non-negative", id)
 	}
-	for int(id) >= len(n.procs) {
-		n.procs = append(n.procs, nil)
+	for int(id) >= len(n.nodes) {
+		n.nodes = append(n.nodes, node{})
 	}
-	if n.procs[id] != nil {
+	if n.nodes[id].proc != nil {
 		return fmt.Errorf("sim: duplicate node id %d", id)
 	}
-	n.procs[id] = p
+	n.nodes[id].proc = p
 	return nil
 }
 
@@ -183,7 +467,7 @@ type Context struct {
 func (c *Context) Self() NodeID { return c.self }
 
 // Send enqueues a message from the current process to another node.
-func (c *Context) Send(to NodeID, msg Message) {
+func (c *Context) Send(to NodeID, msg Msg) {
 	c.net.enqueue(c.self, to, msg)
 }
 
@@ -191,53 +475,220 @@ func (c *Context) Send(to NodeID, msg Message) {
 // protocol engines (package diffuse) depend only on this.
 type Sender interface {
 	Self() NodeID
-	Send(to NodeID, msg Message)
+	Send(to NodeID, msg Msg)
 }
 
 var _ Sender = (*Context)(nil)
 
-// Inject delivers an external event into a node's input buffer, e.g. a job
-// arrival. from is recorded as None.
-func (n *Network) Inject(to NodeID, msg Message) {
-	n.enqueue(None, to, msg)
+// known reports whether id addresses a registered process.
+func (n *Network) known(id NodeID) bool {
+	return id >= 0 && int(id) < len(n.nodes) && n.nodes[id].proc != nil
 }
 
-// InjectMany enqueues one (shared) message to every listed node, in order.
-// It is exactly equivalent — by construction, it delegates to the same
-// enqueue path — to calling Inject(id, msg) for each id: same queue
-// contents, same ready-list order, hence the same delivery schedule. The
-// online layer's monitoring rounds use it for their two full-arena waves,
-// injecting one boxed message over a cached id list instead of re-boxing
-// per cell. Note msg is enqueued by reference into every mailbox, so it
-// must not be mutated while in flight (the same contract shared boxed
-// messages already obey).
-func (n *Network) InjectMany(ids []NodeID, msg Message) {
-	for _, to := range ids {
-		n.enqueue(None, to, msg)
+// queueFor resolves (to, from) to the link's slot and queue, appending the
+// link on first contact. The scan is over the node's in-degree (a handful of
+// entries); the queue pointer is resolved once here so callers never
+// re-index the link table. When the append reallocates the table, the ready
+// list's direct queue pointers for this destination are repaired in place.
+func (n *Network) queueFor(to, from NodeID) (int32, *linkQueue) {
+	links := n.nodes[to].links
+	for i := range links {
+		if links[i].from == from {
+			return int32(i), &links[i]
+		}
+	}
+	return n.addLink(to, from)
+}
+
+// addLink appends a link on first contact between a pair — once per pair, so
+// kept out of queueFor to leave the hot scan within the inlining budget.
+//
+//go:noinline
+func (n *Network) addLink(to, from NodeID) (int32, *linkQueue) {
+	mb := &n.nodes[to]
+	links := mb.links
+	mb.links = append(mb.links, linkQueue{proc: mb.proc, from: from, to: to, slot: int32(len(links))})
+	if len(links) > 0 && &mb.links[0] != &links[0] {
+		n.repairReady(to)
+	}
+	return int32(len(mb.links) - 1), &mb.links[len(mb.links)-1]
+}
+
+// repairReady rewrites the ready list's queue pointers for one destination
+// after its link table moved. The stale pointers still reference the old
+// backing array — kept alive by those very pointers — whose entries hold the
+// same (to, slot) address fields the repair needs. First contact on a link
+// is a once-per-pair event, so this stays off every hot path.
+//
+//go:noinline
+func (n *Network) repairReady(to NodeID) {
+	links := n.nodes[to].links
+	for j, q := range n.ready {
+		if q.to == to {
+			n.ready[j] = &links[q.slot]
+		}
 	}
 }
 
-func (n *Network) enqueue(from, to NodeID, msg Message) {
-	if to < 0 {
+// Inject delivers an external event into a node's input buffer, e.g. a job
+// arrival. from is recorded as None. Injecting to an id with no registered
+// process latches a deferred error surfaced by the next Step — the same
+// discipline as an in-protocol send to an invalid id — instead of silently
+// enqueuing a message that errors only if and when the scheduler draws it.
+func (n *Network) Inject(to NodeID, msg Msg) {
+	if !n.known(to) {
 		if n.badSend == nil {
-			n.badSend = fmt.Errorf("sim: message to invalid node %d", to)
+			n.badSend = fmt.Errorf("sim: inject to unknown node %d", to)
 		}
 		return
 	}
-	for int(to) >= len(n.boxes) {
-		n.boxes = append(n.boxes, mailbox{})
+	n.injectKnown(to, msg)
+}
+
+// InjectMany enqueues one message to every listed node, in order. It is
+// exactly equivalent — same queue contents, same ready-list order, hence the
+// same delivery schedule — to calling Inject(id, msg) for each id, but
+// writes the wave directly into each mailbox's cached injection slot: no
+// slot scan, no per-node revalidation beyond the unknown-id check. The
+// online layer's monitoring rounds use it for their two full-arena waves.
+func (n *Network) InjectMany(ids []NodeID, msg Msg) {
+	for _, to := range ids {
+		if !n.known(to) {
+			if n.badSend == nil {
+				n.badSend = fmt.Errorf("sim: inject to unknown node %d", to)
+			}
+			continue
+		}
+		n.injectKnown(to, msg)
 	}
-	mb := &n.boxes[to]
-	s := mb.slot(from)
-	q := &mb.links[s]
-	if q.count == 0 {
-		n.ready = append(n.ready, readyRef{to: to, slot: s})
+}
+
+// injectKnown enqueues from the external (None) link of a validated id.
+func (n *Network) injectKnown(to NodeID, msg Msg) {
+	mb := &n.nodes[to]
+	s := mb.injectSlot - 1
+	var q *linkQueue
+	if s >= 0 {
+		q = &mb.links[s]
+	} else {
+		s, q = n.queueFor(to, None)
+		mb.injectSlot = s + 1
 	}
-	q.push(msg)
+	if !q.listed {
+		// 0→1 transition: the message becomes the link's head, inline in
+		// the link's own head slot; the ring is not touched.
+		q.listed = true
+		q.hdMsg = msg
+		n.ready = append(n.ready, q)
+	} else {
+		if int(q.count) == len(q.buf) {
+			q.grow()
+		}
+		q.buf[uint32(q.head+q.count)&uint32(len(q.buf)-1)] = msg
+		q.count++
+	}
 	n.sent++
 }
 
+// latchBadSend records the first send to an invalid or unknown node id.
+// Kept out of enqueue so enqueue's frame carries no fmt vararg slots.
+//
+//go:noinline
+func (n *Network) latchBadSend(to NodeID) {
+	if n.badSend == nil {
+		if to < 0 {
+			n.badSend = fmt.Errorf("sim: message to invalid node %d", to)
+		} else {
+			n.badSend = fmt.Errorf("sim: message to unknown node %d", to)
+		}
+	}
+}
+
+// stepLimitErr builds Run's budget error. Kept out of Run so the delivery
+// loop's frame carries no fmt vararg slots.
+//
+//go:noinline
+func stepLimitErr(maxSteps int64) error {
+	return fmt.Errorf("%w (after %d deliveries)", ErrStepLimit, maxSteps)
+}
+
+func (n *Network) enqueue(from, to NodeID, msg Msg) {
+	// Cached-slot fast path: most nodes hear overwhelmingly from one
+	// neighbor, and queueFor's scan loop keeps it from inlining here. An
+	// existing link proves its owner was validated when the link was
+	// created (links are only added below, after the known check), so the
+	// dominant path needs just the bounds test — not the proc load.
+	var q *linkQueue
+	if uint(int(to)) < uint(len(n.nodes)) {
+		mb := &n.nodes[to]
+		if s := mb.recvSlot; int(s) < len(mb.links) && mb.links[s].from == from {
+			q = &mb.links[s]
+		} else if mb.proc != nil {
+			s, q = n.queueFor(to, from)
+			mb.recvSlot = s
+		}
+	}
+	if q == nil {
+		// Latch the first bad send (negative or unregistered id) and drop
+		// the message; the next Step surfaces it. Validating here keeps
+		// deliver infallible: everything queued has a registered
+		// destination.
+		n.latchBadSend(to)
+		return
+	}
+	if !q.listed {
+		// 0→1 transition: the message becomes the link's head, written
+		// straight into the link's head slot — the dominant send shape at
+		// protocol fan-outs, and it never touches the ring buffer.
+		q.listed = true
+		q.hdMsg = msg
+		n.ready = append(n.ready, q)
+	} else {
+		// Overflow behind an undelivered head: push, by hand (the inliner
+		// refuses push because of its grow call, and the call overhead is
+		// measurable at this send rate).
+		if int(q.count) == len(q.buf) {
+			q.grow()
+		}
+		q.buf[uint32(q.head+q.count)&uint32(len(q.buf)-1)] = msg
+		q.count++
+	}
+	n.sent++
+}
+
+// deliver pops the head of ready entry i and hands it to the destination
+// process. Exact ready-list maintenance: a link enters the list when its
+// queue turns nonempty and leaves here, at its known index, the moment it
+// drains — no stale entries, no compaction scans. Destinations were
+// validated when the message was enqueued, so delivery cannot fail.
+func (n *Network) deliver(i int) {
+	q := n.ready[i]
+	m := q.hdMsg
+	if q.count > 0 {
+		// Refill: promote the ring's head into the link's head slot (pop,
+		// by hand); the entry keeps its position, preserving pick order.
+		q.hdMsg = q.buf[q.head]
+		q.head = (q.head + 1) & int32(len(q.buf)-1)
+		q.count--
+	} else {
+		q.listed = false
+		last := len(n.ready) - 1
+		n.ready[i] = n.ready[last]
+		n.ready = n.ready[:last]
+	}
+	n.delivered++
+	n.ctx.self = q.to
+	q.proc.OnMessage(&n.ctx, q.from, m)
+}
+
 // Step delivers one pending message (if any) and reports whether it did.
+//
+// RNG draw discipline: every delivery consumes exactly one seeded draw. When
+// more than one link is ready the draw picks the link; when exactly one is
+// ready the choice is forced, but the draw is still consumed (intn(1) burns
+// one source value), keeping the stream — and therefore every later pick —
+// bit-for-bit aligned with the historical one-draw-per-delivery scheduler.
+// Run's burst path relies on this equivalence.
 func (n *Network) Step() (bool, error) {
 	if n.badSend != nil {
 		return false, n.badSend
@@ -245,52 +696,118 @@ func (n *Network) Step() (bool, error) {
 	if len(n.ready) == 0 {
 		return false, nil
 	}
-	i := n.rng.Intn(len(n.ready))
-	ref := n.ready[i]
-	q := &n.boxes[ref.to].links[ref.slot]
-	from := q.from
-	msg := q.pop()
-	if q.count == 0 {
-		// Exact ready-list maintenance: a link enters the list when its
-		// queue turns nonempty and leaves here, at its known index, the
-		// moment it drains — no stale entries, no compaction scans.
-		n.ready[i] = n.ready[len(n.ready)-1]
-		n.ready = n.ready[:len(n.ready)-1]
-	}
-	var p Process
-	if int(ref.to) < len(n.procs) {
-		p = n.procs[ref.to]
-	}
-	if p == nil {
-		return false, fmt.Errorf("sim: message to unknown node %d", ref.to)
-	}
-	n.delivered++
-	n.ctx.self = ref.to
-	p.OnMessage(&n.ctx, from, msg)
+	n.deliver(n.intn(len(n.ready)))
 	return true, nil
 }
 
 // Run delivers messages until the network quiesces (no pending messages) or
 // maxSteps deliveries have happened, in which case ErrStepLimit is returned.
+//
+// Delivery is burst-oriented: while exactly one link is ready the scheduler
+// has no choice to make, so Run drains that run of messages in a tight loop
+// — still consuming one seeded draw per delivery (see Step) so the delivery
+// schedule is bit-for-bit identical to stepping one message at a time,
+// which TestRunMatchesStepByStep pins.
 func (n *Network) Run(maxSteps int64) error {
-	for steps := int64(0); ; steps++ {
-		if steps >= maxSteps {
-			if n.badSend != nil {
-				// A dropped send must never let the run look quiescent.
-				return n.badSend
-			}
-			if len(n.ready) == 0 {
-				return nil
-			}
-			return fmt.Errorf("%w (after %d deliveries)", ErrStepLimit, maxSteps)
+	for steps := int64(0); ; {
+		if n.badSend != nil {
+			return n.badSend
 		}
-		progressed, err := n.Step()
-		if err != nil {
-			return err
+		// Burst: a singleton ready list forces the pick. Deliveries during
+		// the burst may enqueue onto other links (ending the burst) or latch
+		// a bad send (checked per delivery, as Step would).
+		for len(n.ready) == 1 && n.badSend == nil {
+			if steps >= maxSteps {
+				return stepLimitErr(maxSteps)
+			}
+			// The draw intn(1) would consume; keeps streams aligned.
+			if n.fastOK {
+				n.fast.next()
+			} else {
+				n.src.Int63()
+			}
+			// deliver(0), by hand, with the swap-remove specialized to the
+			// singleton ready list (deliver stays a call; at this rate the
+			// call overhead alone is measurable).
+			q := n.ready[0]
+			m := q.hdMsg
+			if q.count > 0 {
+				q.hdMsg = q.buf[q.head]
+				q.head = (q.head + 1) & int32(len(q.buf)-1)
+				q.count--
+			} else {
+				q.listed = false
+				n.ready = n.ready[:0]
+			}
+			n.delivered++
+			n.ctx.self = q.to
+			q.proc.OnMessage(&n.ctx, q.from, m)
+			steps++
 		}
-		if !progressed {
+		if n.badSend != nil {
+			return n.badSend
+		}
+		if len(n.ready) == 0 {
 			return nil
 		}
+		if steps >= maxSteps {
+			return stepLimitErr(maxSteps)
+		}
+		// deliver(intn(len(ready))), by hand — same body as deliver, with
+		// intn's power-of-two mask path (the common ready-list shapes)
+		// inlined ahead of the general call.
+		var i int
+		if k := int32(len(n.ready)); k&(k-1) == 0 {
+			var x int64
+			if n.fastOK {
+				x = n.fast.next()
+			} else {
+				x = n.src.Int63()
+			}
+			i = int(int32(x>>32) & (k - 1))
+		} else {
+			// intn's rejection + fastmod path, by hand (intn's draw loop
+			// keeps it from inlining, and at one draw per delivery the call
+			// overhead is measurable).
+			if k != n.modK {
+				n.modK = k
+				n.modMaxv = int32((1 << 31) - 1 - (1<<31)%uint32(k))
+				n.modM = ^uint64(0)/uint64(k) + 1
+			}
+			var x int64
+			if n.fastOK {
+				x = n.fast.next()
+			} else {
+				x = n.src.Int63()
+			}
+			v := int32(x >> 32)
+			for v > n.modMaxv {
+				if n.fastOK {
+					x = n.fast.next()
+				} else {
+					x = n.src.Int63()
+				}
+				v = int32(x >> 32)
+			}
+			hi, _ := bits.Mul64(n.modM*uint64(uint32(v)), uint64(k))
+			i = int(hi)
+		}
+		q := n.ready[i]
+		m := q.hdMsg
+		if q.count > 0 {
+			q.hdMsg = q.buf[q.head]
+			q.head = (q.head + 1) & int32(len(q.buf)-1)
+			q.count--
+		} else {
+			q.listed = false
+			last := len(n.ready) - 1
+			n.ready[i] = n.ready[last]
+			n.ready = n.ready[:last]
+		}
+		n.delivered++
+		n.ctx.self = q.to
+		q.proc.OnMessage(&n.ctx, q.from, m)
+		steps++
 	}
 }
 

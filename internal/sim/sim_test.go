@@ -5,21 +5,34 @@ import (
 	"testing"
 )
 
-// echoProc replies "ack" to every "ping" and records deliveries.
+// Test message kinds (the 32..127 range reserved for tests by the Msg doc).
+const (
+	kindPing uint8 = iota + 32 // request: echoProc answers with kindAck
+	kindAck
+	kindToken // A: remaining hop count
+	kindWave  // broadcast payload for the InjectMany tests
+	kindText  // A: an arbitrary test marker value
+)
+
+func ping() Msg              { return Msg{Kind: kindPing} }
+func token(k uint32) Msg     { return Msg{Kind: kindToken, A: k} }
+func text(marker uint32) Msg { return Msg{Kind: kindText, A: marker} }
+
+// echoProc replies kindAck to every kindPing and records deliveries.
 type echoProc struct {
-	got []Message
+	got []Msg
 }
 
-func (e *echoProc) OnMessage(ctx *Context, from NodeID, msg Message) {
+func (e *echoProc) OnMessage(ctx *Context, from NodeID, msg Msg) {
 	e.got = append(e.got, msg)
-	if msg == "ping" && from != None {
-		ctx.Send(from, "ack")
+	if msg.Kind == kindPing && from != None {
+		ctx.Send(from, Msg{Kind: kindAck})
 	}
 }
 
-type silentProc struct{ got []Message }
+type silentProc struct{ got []Msg }
 
-func (s *silentProc) OnMessage(_ *Context, _ NodeID, msg Message) {
+func (s *silentProc) OnMessage(_ *Context, _ NodeID, msg Msg) {
 	s.got = append(s.got, msg)
 }
 
@@ -42,12 +55,12 @@ func TestInjectAndQuiesce(t *testing.T) {
 	if err := n.Add(7, p); err != nil {
 		t.Fatal(err)
 	}
-	n.Inject(7, "hello")
-	n.Inject(7, "world")
+	n.Inject(7, text(1))
+	n.Inject(7, text(2))
 	if err := n.Run(100); err != nil {
 		t.Fatal(err)
 	}
-	if len(p.got) != 2 || p.got[0] != "hello" || p.got[1] != "world" {
+	if len(p.got) != 2 || p.got[0] != text(1) || p.got[1] != text(2) {
 		t.Fatalf("got %v", p.got)
 	}
 	if n.Delivered() != 2 || n.Pending() != 0 {
@@ -64,11 +77,9 @@ func TestPingAck(t *testing.T) {
 	if err := n.Add(2, b); err != nil {
 		t.Fatal(err)
 	}
-	n.Inject(1, "go") // a does nothing with "go"
-	// Make a ping b by sending a ping from node 2's perspective: inject a
-	// "ping" to b with from recorded as None does not ack; instead deliver a
-	// ping from a to b through a's handler.
-	n.Inject(2, "ping") // from None: no ack expected
+	n.Inject(1, text(0)) // a does nothing with a non-ping
+	// An injected ping has from = None, so no ack is expected.
+	n.Inject(2, ping())
 	if err := n.Run(100); err != nil {
 		t.Fatal(err)
 	}
@@ -80,20 +91,19 @@ func TestPingAck(t *testing.T) {
 	}
 }
 
-// chainProc forwards a counter down a chain until it hits zero.
+// chainProc forwards a token down a chain until its count hits zero.
 type chainProc struct {
 	next NodeID
 	seen int
 }
 
-func (c *chainProc) OnMessage(ctx *Context, _ NodeID, msg Message) {
-	k, ok := msg.(int)
-	if !ok {
+func (c *chainProc) OnMessage(ctx *Context, _ NodeID, msg Msg) {
+	if msg.Kind != kindToken {
 		return
 	}
 	c.seen++
-	if k > 0 && c.next != None {
-		ctx.Send(c.next, k-1)
+	if msg.A > 0 && c.next != None {
+		ctx.Send(c.next, token(msg.A-1))
 	}
 }
 
@@ -110,7 +120,7 @@ func TestChainDeterminism(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		n.Inject(0, hops)
+		n.Inject(0, token(hops))
 		if err := n.Run(10_000); err != nil {
 			t.Fatal(err)
 		}
@@ -137,14 +147,14 @@ func TestPerLinkFIFO(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		n.Inject(0, i)
-		n.Inject(1, i)
+		n.Inject(0, token(uint32(i)))
+		n.Inject(1, token(uint32(i)))
 	}
 	if err := n.Run(1000); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 50; i++ {
-		if sink.got[i] != i {
+		if sink.got[i].A != uint32(i) {
 			t.Fatalf("FIFO violated at %d: %v", i, sink.got[i])
 		}
 	}
@@ -153,7 +163,7 @@ func TestPerLinkFIFO(t *testing.T) {
 // loopProc sends to itself forever — a livelock the step limit must catch.
 type loopProc struct{}
 
-func (loopProc) OnMessage(ctx *Context, _ NodeID, msg Message) {
+func (loopProc) OnMessage(ctx *Context, _ NodeID, msg Msg) {
 	ctx.Send(ctx.Self(), msg)
 }
 
@@ -162,7 +172,7 @@ func TestStepLimit(t *testing.T) {
 	if err := n.Add(1, loopProc{}); err != nil {
 		t.Fatal(err)
 	}
-	n.Inject(1, "spin")
+	n.Inject(1, text(7))
 	err := n.Run(100)
 	if !errors.Is(err, ErrStepLimit) {
 		t.Fatalf("want ErrStepLimit, got %v", err)
@@ -171,9 +181,53 @@ func TestStepLimit(t *testing.T) {
 
 func TestUnknownRecipient(t *testing.T) {
 	n := NewNetwork(5)
-	n.Inject(42, "lost")
+	n.Inject(42, text(1))
 	if err := n.Run(10); err == nil {
 		t.Error("message to unknown node should error")
+	}
+}
+
+// TestInjectUnknownLatchesDeferredError is the regression test for the
+// Inject/Step consistency fix: injecting to a node id with no registered
+// process must latch the same deferred-error state a bad in-protocol send
+// does — nothing is enqueued, and the next Step (or Run) reports the error
+// even though the ready list is empty — instead of silently enqueuing a
+// message that only errors if the scheduler happens to draw it.
+func TestInjectUnknownLatchesDeferredError(t *testing.T) {
+	n := NewNetwork(5)
+	p := &silentProc{}
+	if err := n.Add(0, p); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(3, text(1)) // id 3 was never Added
+	if n.Sent() != 0 {
+		t.Errorf("unknown-id inject enqueued: sent=%d, want 0", n.Sent())
+	}
+	if _, err := n.Step(); err == nil {
+		t.Error("Step after unknown-id inject must surface the latched error")
+	}
+	// Run must also report it rather than declaring quiescence.
+	if err := n.Run(100); err == nil {
+		t.Error("Run after unknown-id inject must error, not quiesce")
+	}
+	// InjectMany applies the same rule per id: valid ids enqueue, the
+	// unknown one latches.
+	n2 := NewNetwork(5)
+	if err := n2.Add(0, &silentProc{}); err != nil {
+		t.Fatal(err)
+	}
+	n2.InjectMany([]NodeID{0, 9, 0}, text(2))
+	if n2.Sent() != 2 {
+		t.Errorf("sent = %d, want 2 (unknown id skipped)", n2.Sent())
+	}
+	if err := n2.Run(100); err == nil {
+		t.Error("InjectMany with an unknown id must surface on Run")
+	}
+	// Reset clears the latch and the network is usable again.
+	n2.Reset(5)
+	n2.Inject(0, text(3))
+	if err := n2.Run(100); err != nil {
+		t.Fatalf("post-reset run: %v", err)
 	}
 }
 
@@ -190,6 +244,7 @@ func TestStepOnEmptyNetwork(t *testing.T) {
 // the same delivery schedule — as calling Inject per id.
 func TestInjectManyEquivalentToInjectLoop(t *testing.T) {
 	ids := []NodeID{3, 0, 2, 1, 3, 0}
+	wave := Msg{Kind: kindWave, A: 9}
 	build := func(batch bool) (*Network, []*silentProc) {
 		n := NewNetwork(77)
 		procs := make([]*silentProc, 4)
@@ -200,10 +255,10 @@ func TestInjectManyEquivalentToInjectLoop(t *testing.T) {
 			}
 		}
 		if batch {
-			n.InjectMany(ids, "wave")
+			n.InjectMany(ids, wave)
 		} else {
 			for _, id := range ids {
-				n.Inject(id, "wave")
+				n.Inject(id, wave)
 			}
 		}
 		return n, procs
@@ -239,7 +294,7 @@ func TestInjectManyBadIDLatches(t *testing.T) {
 	if err := n.Add(0, p); err != nil {
 		t.Fatal(err)
 	}
-	n.InjectMany([]NodeID{0, -1, 0}, "x")
+	n.InjectMany([]NodeID{0, -1, 0}, text(4))
 	if n.Sent() != 2 {
 		t.Errorf("sent = %d, want 2 (negative id skipped)", n.Sent())
 	}

@@ -21,17 +21,16 @@ import (
 	"repro/internal/sim"
 )
 
-// AppMsg wraps an application payload with detection bookkeeping.
-type AppMsg struct {
-	Payload sim.Message
-}
-
-// Ack acknowledges one application message.
-type Ack struct{}
+// KindAck is the detection acknowledgement (range 240..255 of the sim.Msg
+// kind space is owned by this package). Application payloads travel as
+// their own inline sim.Msg values — any kind other than KindAck and the
+// reserved sim.KindInvalid is an application message — so payload kinds
+// must stay outside this package's range.
+const KindAck uint8 = 0xF0
 
 // Handler is the application logic hosted on a node: it receives payloads
 // and may send more through the node.
-type Handler func(n *Node, ctx sim.Sender, from sim.NodeID, payload sim.Message)
+type Handler func(n *Node, ctx sim.Sender, from sim.NodeID, payload sim.Msg)
 
 // Node hosts one participant of the diffusing computation. It implements
 // sim.Process; application sends must go through Send so deficits track.
@@ -50,8 +49,8 @@ type Node struct {
 	// Stats for tests and experiments.
 	Received int64
 	Acked    int64
-	// Unknown counts messages that were neither AppMsg nor Ack — always a
-	// wiring bug; tests assert it stays zero.
+	// Unknown counts messages with the reserved invalid kind (a zero
+	// sim.Msg) — always a wiring bug; tests assert it stays zero.
 	Unknown int64
 }
 
@@ -82,14 +81,20 @@ func NewRoot(handler Handler, onTerminated func()) (*Node, error) {
 
 // Send transmits an application payload with detection bookkeeping. It must
 // be called only from within a handler invocation (or Start, for the root).
-func (n *Node) Send(ctx sim.Sender, to sim.NodeID, payload sim.Message) {
+// The payload's kind must be neither KindAck nor sim.KindInvalid — both are
+// reserved by the detection wire format; violating that is a programming
+// error and panics rather than silently corrupting deficit tracking.
+func (n *Node) Send(ctx sim.Sender, to sim.NodeID, payload sim.Msg) {
+	if payload.Kind == KindAck || payload.Kind == sim.KindInvalid {
+		panic(fmt.Sprintf("termination: payload kind %d is reserved", payload.Kind))
+	}
 	n.outstanding++
-	ctx.Send(to, AppMsg{Payload: payload})
+	ctx.Send(to, payload)
 }
 
 // Start launches the computation from the root: it engages the root and
 // runs the handler once with the given payload (from = sim.None).
-func (n *Node) Start(ctx sim.Sender, payload sim.Message) error {
+func (n *Node) Start(ctx sim.Sender, payload sim.Msg) error {
 	if !n.isRoot {
 		return fmt.Errorf("termination: Start on a non-root node")
 	}
@@ -107,30 +112,30 @@ func (n *Node) Start(ctx sim.Sender, payload sim.Message) error {
 func (n *Node) Engaged() bool { return n.engaged }
 
 // OnMessage implements sim.Process.
-func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Message) {
-	switch m := msg.(type) {
-	case AppMsg:
+func (n *Node) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
+	switch msg.Kind {
+	case KindAck:
+		n.outstanding--
+		n.maybeDisengage(ctx)
+	case sim.KindInvalid:
+		// Nodes in this package host only the diffusing computation, so a
+		// zero message is a wiring bug; tests assert Unknown == 0.
+		n.Unknown++
+	default:
 		n.Received++
 		engaging := !n.engaged
 		if engaging {
 			n.engaged = true
 			n.parent = from
 		}
-		n.handler(n, ctx, from, m.Payload)
+		n.handler(n, ctx, from, msg)
 		if !engaging {
 			// Non-engaging messages are acknowledged as soon as the local
 			// processing they triggered is done.
-			ctx.Send(from, Ack{})
+			ctx.Send(from, sim.Msg{Kind: KindAck})
 			n.Acked++
 		}
 		n.maybeDisengage(ctx)
-	case Ack:
-		n.outstanding--
-		n.maybeDisengage(ctx)
-	default:
-		// Nodes in this package host only the diffusing computation, so an
-		// alien message is a wiring bug; tests assert Unknown == 0.
-		n.Unknown++
 	}
 }
 
@@ -147,7 +152,7 @@ func (n *Node) maybeDisengage(ctx sim.Sender) {
 		return
 	}
 	if n.parent != sim.None {
-		ctx.Send(n.parent, Ack{})
+		ctx.Send(n.parent, sim.Msg{Kind: KindAck})
 		n.Acked++
 		n.parent = sim.None
 	}

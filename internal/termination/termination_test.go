@@ -7,38 +7,44 @@ import (
 	"repro/internal/sim"
 )
 
-// probe is a payload that asks the receiver to fan out `ttl` more probes.
-type probe struct {
-	TTL    int
-	Fanout int
+// Application payload kinds used by these tests (32..127 is the test range
+// of the sim.Msg kind space; anything outside KindAck/KindInvalid is an app
+// message to the detector).
+const (
+	kindProbe uint8 = iota + 50 // A: TTL, B: fanout
+	kindHop                     // A: remaining hops
+	kindGo                      // bare trigger with no operands
+)
+
+func probeMsg(ttl, fanout int) sim.Msg {
+	return sim.Msg{Kind: kindProbe, A: uint32(ttl), B: uint32(fanout)}
 }
 
 // fanoutHandler forwards probes with decremented TTL to pseudo-random
 // neighbors (deterministic per node via its own seeded rng).
 func fanoutHandler(neighbors []sim.NodeID, seed int64) Handler {
 	rng := rand.New(rand.NewSource(seed))
-	return func(n *Node, ctx sim.Sender, _ sim.NodeID, payload sim.Message) {
-		p, ok := payload.(probe)
-		if !ok || p.TTL <= 0 || len(neighbors) == 0 {
+	return func(n *Node, ctx sim.Sender, _ sim.NodeID, payload sim.Msg) {
+		if payload.Kind != kindProbe || payload.A == 0 || len(neighbors) == 0 {
 			return
 		}
-		for i := 0; i < p.Fanout; i++ {
+		for i := uint32(0); i < payload.B; i++ {
 			to := neighbors[rng.Intn(len(neighbors))]
-			n.Send(ctx, to, probe{TTL: p.TTL - 1, Fanout: p.Fanout})
+			n.Send(ctx, to, probeMsg(int(payload.A-1), int(payload.B)))
 		}
 	}
 }
 
 type fakeSender struct{ sent int }
 
-func (f *fakeSender) Self() sim.NodeID             { return 0 }
-func (f *fakeSender) Send(sim.NodeID, sim.Message) { f.sent++ }
+func (f *fakeSender) Self() sim.NodeID         { return 0 }
+func (f *fakeSender) Send(sim.NodeID, sim.Msg) { f.sent++ }
 
 func TestValidation(t *testing.T) {
 	if _, err := NewNode(nil); err == nil {
 		t.Error("nil handler should fail")
 	}
-	h := func(*Node, sim.Sender, sim.NodeID, sim.Message) {}
+	h := func(*Node, sim.Sender, sim.NodeID, sim.Msg) {}
 	if _, err := NewRoot(h, nil); err == nil {
 		t.Error("nil onTerminated should fail")
 	}
@@ -46,20 +52,39 @@ func TestValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := n.Start(&fakeSender{}, nil); err == nil {
+	if err := n.Start(&fakeSender{}, sim.Msg{Kind: kindGo}); err == nil {
 		t.Error("Start on non-root should fail")
+	}
+}
+
+// TestSendReservedKindPanics pins the wire-format guard: application
+// payloads may not reuse the detector's ack kind or the reserved zero kind.
+func TestSendReservedKindPanics(t *testing.T) {
+	n, err := NewNode(func(*Node, sim.Sender, sim.NodeID, sim.Msg) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []uint8{KindAck, sim.KindInvalid} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Send with reserved kind %d did not panic", kind)
+				}
+			}()
+			n.Send(&fakeSender{}, 1, sim.Msg{Kind: kind})
+		}()
 	}
 }
 
 func TestImmediateTermination(t *testing.T) {
 	// Root handler sends nothing: termination must fire synchronously.
 	fired := 0
-	root, err := NewRoot(func(*Node, sim.Sender, sim.NodeID, sim.Message) {},
+	root, err := NewRoot(func(*Node, sim.Sender, sim.NodeID, sim.Msg) {},
 		func() { fired++ })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := root.Start(&fakeSender{}, "go"); err != nil {
+	if err := root.Start(&fakeSender{}, sim.Msg{Kind: kindGo}); err != nil {
 		t.Fatal(err)
 	}
 	if fired != 1 {
@@ -68,7 +93,7 @@ func TestImmediateTermination(t *testing.T) {
 	if root.Engaged() {
 		t.Error("root still engaged")
 	}
-	if err := root.Start(&fakeSender{}, "again"); err != nil {
+	if err := root.Start(&fakeSender{}, sim.Msg{Kind: kindGo}); err != nil {
 		t.Fatal(err)
 	}
 	if fired != 2 {
@@ -78,16 +103,16 @@ func TestImmediateTermination(t *testing.T) {
 
 func TestDoubleStartRejected(t *testing.T) {
 	fired := false
-	root, err := NewRoot(func(n *Node, ctx sim.Sender, _ sim.NodeID, _ sim.Message) {
-		n.Send(ctx, 1, "x") // keeps the root engaged
+	root, err := NewRoot(func(n *Node, ctx sim.Sender, _ sim.NodeID, _ sim.Msg) {
+		n.Send(ctx, 1, sim.Msg{Kind: kindGo}) // keeps the root engaged
 	}, func() { fired = true })
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := root.Start(&fakeSender{}, "go"); err != nil {
+	if err := root.Start(&fakeSender{}, sim.Msg{Kind: kindGo}); err != nil {
 		t.Fatal(err)
 	}
-	if err := root.Start(&fakeSender{}, "go"); err == nil {
+	if err := root.Start(&fakeSender{}, sim.Msg{Kind: kindGo}); err == nil {
 		t.Error("second Start while engaged should fail")
 	}
 	if fired {
@@ -115,9 +140,9 @@ func TestDetectionOnRandomComputations(t *testing.T) {
 			var n *Node
 			var err error
 			if i == 0 {
-				// The root is bootstrapped by an environment-injected
-				// AppMsg (from = sim.None), so its engaging message owes
-				// no acknowledgement.
+				// The root is bootstrapped by an environment-injected probe
+				// (from = sim.None), so its engaging message owes no
+				// acknowledgement.
 				n, err = NewRoot(h, func() { fired++ })
 			} else {
 				n, err = NewNode(h)
@@ -130,8 +155,7 @@ func TestDetectionOnRandomComputations(t *testing.T) {
 				t.Fatal(err)
 			}
 		}
-		boot := probe{TTL: 1 + rng.Intn(4), Fanout: 1 + rng.Intn(3)}
-		net.Inject(0, AppMsg{Payload: boot})
+		net.Inject(0, probeMsg(1+rng.Intn(4), 1+rng.Intn(3)))
 		if err := net.Run(1_000_000); err != nil {
 			t.Fatalf("trial %d: %v", trial, err)
 		}
@@ -168,16 +192,15 @@ func TestDetectionNotPremature(t *testing.T) {
 	var nodes []*Node
 	for i := 0; i < hops; i++ {
 		i := i
-		h := func(n *Node, ctx sim.Sender, _ sim.NodeID, payload sim.Message) {
-			k, ok := payload.(int)
-			if !ok {
+		h := func(n *Node, ctx sim.Sender, _ sim.NodeID, payload sim.Msg) {
+			if payload.Kind != kindHop {
 				return
 			}
-			if k == 0 {
+			if payload.A == 0 {
 				processedLast = true
 				return
 			}
-			n.Send(ctx, sim.NodeID(i+1), k-1)
+			n.Send(ctx, sim.NodeID(i+1), sim.Msg{Kind: kindHop, A: payload.A - 1})
 		}
 		var n *Node
 		var err error
@@ -198,7 +221,7 @@ func TestDetectionNotPremature(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	net.Inject(0, AppMsg{Payload: hops - 1})
+	net.Inject(0, sim.Msg{Kind: kindHop, A: hops - 1})
 	if err := net.Run(100_000); err != nil {
 		t.Fatal(err)
 	}
