@@ -44,15 +44,26 @@ func E11Ablations(n int, jobs int64, seed int64, workers int) (*Table, error) {
 			if err != nil {
 				return row{}, err
 			}
-			full, err := lpchar.OmegaStarCubes(m, arena)
+			// One dense view per workload: the cube omega* scans and the
+			// Corollary 2.2.7 characterization share a single summed-area
+			// table instead of each densifying the demand again.
+			dense, err := offline.NewDense(m, arena)
 			if err != nil {
 				return row{}, err
 			}
-			dbl, err := lpchar.OmegaStarCubesDoubling(m, arena)
+			ps, err := dense.Prefix()
 			if err != nil {
 				return row{}, err
 			}
-			char, err := offline.OmegaC(m, arena)
+			full, err := lpchar.OmegaStarCubesPS(ps)
+			if err != nil {
+				return row{}, err
+			}
+			dbl, err := lpchar.OmegaStarCubesDoublingPS(ps)
+			if err != nil {
+				return row{}, err
+			}
+			char, err := dense.OmegaC()
 			if err != nil {
 				return row{}, err
 			}

@@ -11,6 +11,14 @@
 // scratch is retained per network — a warm MaxFlow allocates nothing. This
 // extends the repo's "reset ≡ fresh" discipline (DESIGN.md) to the offline
 // LP core.
+//
+// A Network is also incrementally reusable: RaiseCapacity grows an edge's
+// capacity without discarding the flow on it (raising a capacity never
+// invalidates a feasible flow), MaxFlowResume pushes only the augmenting
+// difference on the retained residual network, and CaptureState/RestoreState
+// rewind the flow to an earlier rung of a capacity ladder. Together they are
+// the parametric path lpchar's probe ladder rides: ~60 bisection probes cost
+// one full solve plus 60 differences instead of 60 full solves.
 package flow
 
 import (
@@ -37,6 +45,7 @@ type Network struct {
 	level []int32
 	iter  []int32
 	queue []int32
+	path  []int32 // augmenting-path edge stack (len <= n)
 }
 
 // NewNetwork creates a network with n nodes and no edges.
@@ -71,6 +80,9 @@ func (nw *Network) Reinit(n int) error {
 	if cap(nw.queue) < n {
 		nw.queue = make([]int32, 0, n)
 	}
+	if cap(nw.path) < n {
+		nw.path = make([]int32, 0, n)
+	}
 	return nil
 }
 
@@ -84,6 +96,30 @@ func resize(s []int32, n int) []int32 {
 
 // N returns the node count.
 func (nw *Network) N() int { return nw.n }
+
+// AddNodes appends count fresh, edge-less nodes and returns the id of the
+// first one. Existing nodes, edges, ids, and any retained flow are untouched
+// — this is what lets lpchar's radius differencing extend a supply graph in
+// place (nested L1 balls only ever add suppliers) instead of rebuilding it.
+func (nw *Network) AddNodes(count int) (int, error) {
+	if count < 0 {
+		return 0, fmt.Errorf("flow: negative node count %d", count)
+	}
+	first := nw.n
+	nw.n += count
+	for i := 0; i < count; i++ {
+		nw.heads = append(nw.heads, -1)
+	}
+	nw.level = resize(nw.level, nw.n)
+	nw.iter = resize(nw.iter, nw.n)
+	if cap(nw.queue) < nw.n {
+		nw.queue = make([]int32, 0, nw.n)
+	}
+	if cap(nw.path) < nw.n {
+		nw.path = make([]int32, 0, nw.n)
+	}
+	return first, nil
+}
 
 // AddEdge adds a directed edge u->v with the given capacity (and an implicit
 // residual reverse edge of capacity 0). Returns the edge id, usable with
@@ -134,6 +170,110 @@ func (nw *Network) SetCapacity(id int, capacity float64) error {
 	return nil
 }
 
+// RaiseCapacity raises the capacity of forward edge id to capacity, which
+// must be at least the edge's current base capacity. Unlike SetCapacity it
+// preserves the flow currently on the edge pair: the forward residual grows
+// by exactly the difference, the reverse residual (the flow) is untouched,
+// and the base moves with it, so Reset restores the raised value. Raising a
+// capacity never invalidates a feasible flow — the monotonicity that makes
+// lpchar's ascending omega ladder sound.
+func (nw *Network) RaiseCapacity(id int, capacity float64) error {
+	if id < 0 || id >= len(nw.cap) || id&1 != 0 {
+		return fmt.Errorf("flow: edge id %d out of range (forward ids are even, < %d)", id, len(nw.cap))
+	}
+	if math.IsNaN(capacity) || capacity < nw.base[id] {
+		return fmt.Errorf("flow: capacity %v below current %v (RaiseCapacity is raise-only)", capacity, nw.base[id])
+	}
+	nw.cap[id] += capacity - nw.base[id]
+	nw.base[id] = capacity
+	return nil
+}
+
+// State is a reusable snapshot of a network's per-edge state — residual and
+// base capacities — taken by CaptureState and reapplied by RestoreState. It
+// lets a parametric search rewind the retained flow to an earlier rung of a
+// capacity ladder without re-running augmentation from zero flow. Buffers
+// are retained, so a warm capture/restore cycle allocates nothing.
+type State struct {
+	cap, base []float64
+	nodes     int
+	slots     int
+}
+
+// CaptureState copies the network's residual and base capacities into st,
+// reusing st's buffers when they are large enough.
+func (nw *Network) CaptureState(st *State) {
+	st.cap = append(st.cap[:0], nw.cap...)
+	st.base = append(st.base[:0], nw.base...)
+	st.nodes, st.slots = nw.n, len(nw.cap)
+}
+
+// RestoreState reapplies a snapshot taken by CaptureState on this network.
+// The structure must be unchanged since the capture: a snapshot does not
+// survive AddEdge, AddNodes, or Reinit.
+func (nw *Network) RestoreState(st *State) error {
+	if st.nodes != nw.n || st.slots != len(nw.cap) {
+		return fmt.Errorf("flow: snapshot of %d nodes/%d edge slots does not match network (%d/%d)",
+			st.nodes, st.slots, nw.n, len(nw.cap))
+	}
+	copy(nw.cap, st.cap)
+	copy(nw.base, st.base)
+	return nil
+}
+
+// ValidateFlow checks that the retained flow (the state MaxFlow leaves
+// behind) is a valid s-t flow: every forward edge carries flow within
+// [0, capacity] up to Eps, and net flow is conserved at every node other
+// than s and t. A diagnostic for the incremental path's tests, not a hot
+// call — it allocates one scratch slice per invocation.
+func (nw *Network) ValidateFlow(s, t int) error {
+	if s < 0 || s >= nw.n || t < 0 || t >= nw.n || s == t {
+		return fmt.Errorf("flow: bad terminals s=%d t=%d", s, t)
+	}
+	net := make([]float64, nw.n)
+	for id := 0; id < len(nw.cap); id += 2 {
+		f := nw.cap[id^1] - nw.base[id^1] // base of the reverse slot is always 0
+		u, v := int(nw.to[id^1]), int(nw.to[id])
+		if f < -Eps {
+			return fmt.Errorf("flow: edge %d (%d->%d) carries negative flow %v", id, u, v, f)
+		}
+		if f > nw.base[id]+Eps {
+			return fmt.Errorf("flow: edge %d (%d->%d) flow %v exceeds capacity %v", id, u, v, f, nw.base[id])
+		}
+		net[u] -= f
+		net[v] += f
+	}
+	for i := 0; i < nw.n; i++ {
+		if i == s || i == t {
+			continue
+		}
+		if math.Abs(net[i]) > 1e-6 {
+			return fmt.Errorf("flow: conservation violated at node %d: net %v", i, net[i])
+		}
+	}
+	return nil
+}
+
+// MinCutReachable reports whether node v lies on the source side of the
+// minimum cut the last MaxFlow call left behind: v was reachable from s in
+// the final residual BFS (the phase that failed to reach t). The partition
+// is a certificate — for ANY capacity assignment, the sum of capacities on
+// edges crossing it bounds the max flow from above — which is what lets a
+// parametric search certify infeasible capacity probes without running
+// augmentation. Valid until the next MaxFlow; meaningless before the first.
+func (nw *Network) MinCutReachable(v int) bool {
+	return v >= 0 && v < nw.n && nw.level[v] >= 0
+}
+
+// MaxFlowResume pushes only the augmenting difference on the retained
+// residual network and returns the flow added by this call — the warm half
+// of the incremental parametric path (RaiseCapacity + MaxFlowResume),
+// alongside the from-scratch Reset+MaxFlow path. On a warm network it
+// performs zero allocations.
+func (nw *Network) MaxFlowResume(s, t int) (float64, error) {
+	return nw.MaxFlow(s, t)
+}
+
 // MaxFlow computes the maximum s-t flow with Dinic's algorithm and returns
 // its value. The network retains the flow (inspect with Flow); calling
 // MaxFlow again continues from the current residual state — call Reset first
@@ -143,6 +283,7 @@ func (nw *Network) MaxFlow(s, t int) (float64, error) {
 		return 0, fmt.Errorf("flow: bad terminals s=%d t=%d", s, t)
 	}
 	level, iter := nw.level, nw.iter
+	caps, to, next, heads := nw.cap, nw.to, nw.next, nw.heads
 	total := 0.0
 	for {
 		// BFS level graph.
@@ -153,10 +294,11 @@ func (nw *Network) MaxFlow(s, t int) (float64, error) {
 		queue := append(nw.queue[:0], int32(s))
 		for qi := 0; qi < len(queue); qi++ {
 			u := queue[qi]
-			for e := nw.heads[u]; e != -1; e = nw.next[e] {
-				v := nw.to[e]
-				if nw.cap[e] > Eps && level[v] < 0 {
-					level[v] = level[u] + 1
+			lv := level[u] + 1
+			for e := heads[u]; e != -1; e = next[e] {
+				v := to[e]
+				if caps[e] > Eps && level[v] < 0 {
+					level[v] = lv
 					queue = append(queue, v)
 				}
 			}
@@ -165,10 +307,10 @@ func (nw *Network) MaxFlow(s, t int) (float64, error) {
 		if level[t] < 0 {
 			return total, nil
 		}
-		copy(iter, nw.heads)
+		copy(iter, heads)
 		// Blocking flow via iterative DFS.
 		for {
-			pushed := nw.dfs(s, t, math.Inf(1), level, iter)
+			pushed := nw.augment(s, t, level, iter)
 			if pushed <= Eps {
 				break
 			}
@@ -177,22 +319,54 @@ func (nw *Network) MaxFlow(s, t int) (float64, error) {
 	}
 }
 
-func (nw *Network) dfs(u, t int, limit float64, level, iter []int32) float64 {
-	if u == t {
-		return limit
-	}
-	for ; iter[u] != -1; iter[u] = nw.next[iter[u]] {
+// augment finds one augmenting path in the level graph and pushes its
+// bottleneck, returning the pushed amount (0 when s is exhausted for this
+// phase). The path is an explicit edge stack rather than a call stack; every
+// admissible edge on the stack has residual > Eps, so the bottleneck — the
+// exact min over stacked residuals — is always > Eps once t is reached.
+// Dead ends mark level[u] = -2 and advance the parent's iterator past the
+// edge that led in, mirroring the advance-on-failure of the recursive form.
+func (nw *Network) augment(s, t int, level, iter []int32) float64 {
+	caps, to, next := nw.cap, nw.to, nw.next
+	path := nw.path[:0]
+	u, tt := int32(s), int32(t)
+	for {
+		if u == tt {
+			d := math.Inf(1)
+			for _, e := range path {
+				if c := caps[e]; c < d {
+					d = c
+				}
+			}
+			for _, e := range path {
+				caps[e] -= d
+				caps[e^1] += d
+			}
+			nw.path = path[:0]
+			return d
+		}
 		e := iter[u]
-		v := int(nw.to[e])
-		if nw.cap[e] > Eps && level[v] == level[u]+1 {
-			d := nw.dfs(v, t, math.Min(limit, nw.cap[e]), level, iter)
-			if d > Eps {
-				nw.cap[e] -= d
-				nw.cap[e^1] += d
-				return d
+		lv := level[u] + 1
+		for ; e != -1; e = next[e] {
+			if caps[e] > Eps && level[to[e]] == lv {
+				break
 			}
 		}
+		iter[u] = e
+		if e == -1 {
+			level[u] = -2 // dead end on this phase
+			if len(path) == 0 {
+				nw.path = path
+				return 0
+			}
+			pe := path[len(path)-1]
+			path = path[:len(path)-1]
+			pu := to[pe^1]
+			iter[pu] = next[pe]
+			u = pu
+			continue
+		}
+		path = append(path, e)
+		u = to[e]
 	}
-	level[u] = -2 // dead end on this phase
-	return 0
 }

@@ -206,18 +206,46 @@ func NeighborhoodCount(b Box, r int64) (int64, error) {
 // the omega solvers where r can be large and a relative error of ~1e-12 is
 // irrelevant next to the thesis' constant factors.
 func NeighborhoodCountFloat(b Box, r float64) float64 {
+	return CompileNeighborhood(b).Count(r)
+}
+
+// NeighborhoodPoly is |N_r(b)| for one fixed box, precompiled as a
+// polynomial in the radius (the elementary symmetric coefficients of the
+// side lengths). Count evaluates it without allocating, which lets lpchar's
+// coarse infeasibility bound screen every bisection rung off the heap.
+// NeighborhoodCountFloat delegates here, so the two can never drift.
+type NeighborhoodPoly struct {
+	dim  int
+	elem [MaxDim + 1]float64
+}
+
+// CompileNeighborhood precompiles the closed-form count for b.
+func CompileNeighborhood(b Box) NeighborhoodPoly {
+	np := NeighborhoodPoly{dim: b.Dim}
+	var elem [MaxDim + 1]int64
+	elem[0] = 1
+	for i := 0; i < b.Dim; i++ {
+		v := b.Side(i)
+		for j := b.Dim; j >= 1; j-- {
+			elem[j] += elem[j-1] * v
+		}
+	}
+	for j := 0; j <= b.Dim; j++ {
+		np.elem[j] = float64(elem[j])
+	}
+	return np
+}
+
+// Count evaluates |N_r(b)| in float64 — the same arithmetic, in the same
+// order, as the pre-compilation NeighborhoodCountFloat, and allocation-free.
+func (np NeighborhoodPoly) Count(r float64) float64 {
 	if r < 0 {
 		return 0
 	}
 	rf := math.Floor(r)
-	sides := make([]int64, b.Dim)
-	for i := range sides {
-		sides[i] = b.Side(i)
-	}
-	elem := elementarySymmetric(sides)
 	total := 0.0
 	pow2 := 1.0
-	for k := 0; k <= b.Dim; k++ {
+	for k := 0; k <= np.dim; k++ {
 		c := 1.0
 		for i := 1; i <= k; i++ {
 			c *= (rf - float64(k-i)) / float64(i)
@@ -225,7 +253,7 @@ func NeighborhoodCountFloat(b Box, r float64) float64 {
 		if c < 0 {
 			c = 0
 		}
-		total += pow2 * c * float64(elem[b.Dim-k])
+		total += pow2 * c * np.elem[np.dim-k]
 		pow2 *= 2
 	}
 	return total

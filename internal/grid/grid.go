@@ -138,6 +138,11 @@ type PrefixSum struct {
 	str [MaxDim]int64
 }
 
+// Grid returns the grid the table was built over, so consumers handed a
+// shared PrefixSum (offline.Dense, the cube omega scans) can recover the
+// arena geometry without carrying it separately.
+func (ps *PrefixSum) Grid() *Grid { return ps.g }
+
 // NewPrefixSum builds the summed-area table for the values indexed by the
 // grid's linear index (values[g.Index(p)] is the value at p).
 func NewPrefixSum(g *Grid, values []int64) (*PrefixSum, error) {

@@ -73,6 +73,29 @@ func BenchmarkOmegaStarFlow(b *testing.B) {
 	}
 }
 
+// BenchmarkOmegaStarFlowLarge scales the self-consistent program to roughly
+// ten times E4's support: 120 demand points over a 32x32 patch, where the
+// bracket's large radii make the per-radius supply graphs expensive enough
+// that the incremental machinery (witness certificates, radius extension,
+// ladder resumes) dominates the measurement.
+func BenchmarkOmegaStarFlowLarge(b *testing.B) {
+	rng := rand.New(rand.NewSource(11))
+	m := demand.NewMap(2)
+	for i := 0; i < 120; i++ {
+		p := grid.P(rng.Intn(32), rng.Intn(32))
+		if err := m.Add(p, 1+rng.Int63n(30)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := OmegaStarFlow(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkSubsetValue(b *testing.B) {
 	m := benchDemand(b, 12)
 	b.ReportAllocs()

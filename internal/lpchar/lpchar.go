@@ -22,10 +22,22 @@ import (
 	"errors"
 	"fmt"
 	"math/bits"
+	"sync"
 
 	"repro/internal/demand"
 	"repro/internal/grid"
 )
+
+// solverPool recycles Solvers across the one-shot entry points (FlowValue,
+// OmegaStarFlow), extending the sweep workers' one-solver-per-worker
+// discipline to callers without a natural place to retain one: network
+// arrays, supply index buffers, and the coarse witness bounds all survive
+// between calls. Rebinding a pooled solver is pinned indistinguishable from
+// constructing a fresh one (TestSolverWarmEqualsCold), and the witness
+// bounds revalidate their instance before reuse, so results are unaffected;
+// callers probing one demand map repeatedly — E4 walks the same grid at
+// five radii — skip the witness rebuild entirely.
+var solverPool = sync.Pool{New: func() any { return new(Solver) }}
 
 // ErrTooLarge is returned when an instance exceeds a solver's exact-method
 // limits (subset enumeration, dense supply graphs).
@@ -59,7 +71,8 @@ func FlowValue(m *demand.Map, r int) (float64, error) {
 	if m.Total() == 0 {
 		return 0, nil
 	}
-	var s Solver
+	s := solverPool.Get().(*Solver)
+	defer solverPool.Put(s)
 	if err := s.Bind(m, r); err != nil {
 		return 0, err
 	}
@@ -208,25 +221,60 @@ func MaxOverBoxes(m *demand.Map, r int) (float64, grid.Box, error) {
 // capacity — exactly: the unique omega with omega = LPvalue(r=floor(omega)).
 // LPvalue(r) is non-increasing in r (Lemma 2.2.3's proof), so g(r) =
 // LPvalue(r) - r is strictly decreasing and a binary search on the integer
-// radius bracket followed by one LP evaluation pins the fixed point. Solvers
-// are cached per radius across the bracket and bisection, so a radius the
-// search revisits re-runs warm probes instead of rebuilding its supply
-// graph.
+// radius bracket followed by one LP evaluation pins the fixed point.
+//
+// One solver serves every radius the search visits: ascending steps extend
+// the supply graph in place (ExtendRadius — nested L1 balls only add
+// suppliers), descending steps rebind, and per-radius values are memoized so
+// a revisited radius costs a map lookup. Radius segments the shared witness
+// bounds prove irrelevant — LPvalue(r) certifiably above r+1 — are skipped
+// without evaluating the LP at all; the certificate threshold sits a safety
+// margin above r+1, so every skipped evaluation is one the bisection test
+// was guaranteed to fail, and the search trajectory (and result) is
+// identical to evaluating everywhere.
 func OmegaStarFlow(m *demand.Map) (float64, error) {
 	if m.Total() == 0 {
 		return 0, nil
 	}
-	solvers := make(map[int]*Solver)
+	sol := solverPool.Get().(*Solver)
+	defer solverPool.Put(sol)
+	if err := sol.cb.ensure(m); err != nil {
+		return 0, err
+	}
+	memo := make(map[int]float64)
+	bound := false
 	value := func(r int) (float64, error) {
-		s := solvers[r]
-		if s == nil {
-			var err error
-			if s, err = NewSolver(m, r); err != nil {
+		if v, ok := memo[r]; ok {
+			return v, nil
+		}
+		switch {
+		case !bound:
+			if err := sol.Bind(m, r); err != nil {
 				return 0, err
 			}
-			solvers[r] = s
+			bound = true
+		case r > sol.r:
+			if err := sol.ExtendRadius(r); err != nil {
+				return 0, err
+			}
+		case r < sol.r:
+			if err := sol.Bind(m, r); err != nil {
+				return 0, err
+			}
 		}
-		return s.Value()
+		v, err := sol.Value()
+		if err != nil {
+			return 0, err
+		}
+		memo[r] = v
+		return v, nil
+	}
+	// exceeds(r) certifies LPvalue(r) > r+1 from the witness bounds alone:
+	// lowerAt already retreats by the safety margin, and Value() can only
+	// land above it (probes below are certified-infeasible), so the
+	// bisection's "v <= r+1" test is known false without evaluating.
+	exceeds := func(r int) bool {
+		return sol.cb.lowerAt(float64(r)) > float64(r+1)
 	}
 	// Find smallest integer R with LPvalue(R) <= R+1; the fixed point lies
 	// in radius segment [R, R+1). Bracket exponentially from small radii:
@@ -235,12 +283,14 @@ func OmegaStarFlow(m *demand.Map) (float64, error) {
 	// concentrated demands.
 	hi := 1
 	for {
-		v, err := value(hi)
-		if err != nil {
-			return 0, err
-		}
-		if v <= float64(hi+1) {
-			break
+		if !exceeds(hi) {
+			v, err := value(hi)
+			if err != nil {
+				return 0, err
+			}
+			if v <= float64(hi+1) {
+				break
+			}
 		}
 		hi *= 2
 		if int64(hi) > m.Max()+1 {
@@ -250,6 +300,10 @@ func OmegaStarFlow(m *demand.Map) (float64, error) {
 	lo := 0
 	for lo < hi {
 		mid := (lo + hi) / 2
+		if exceeds(mid) {
+			lo = mid + 1
+			continue
+		}
 		v, err := value(mid)
 		if err != nil {
 			return 0, err
@@ -261,6 +315,10 @@ func OmegaStarFlow(m *demand.Map) (float64, error) {
 		}
 	}
 	r := lo
+	if exceeds(r) {
+		// v > r+1 certified: the clamp below would return r+1.
+		return float64(r + 1), nil
+	}
 	v, err := value(r)
 	if err != nil {
 		return 0, err
@@ -281,50 +339,54 @@ func OmegaStarFlow(m *demand.Map) (float64, error) {
 // lower bound (Corollaries 2.2.4 + 2.2.6). For a fixed side length only the
 // maximal cube sum matters, because omega_T is monotone in the demand for a
 // fixed shape, so one prefix-sum sweep per side length suffices.
+//
+// This convenience form densifies (m, arena) itself; pipelines that already
+// hold a shared summed-area table — offline.Dense.Prefix(), the
+// one-densification-per-pipeline rule — should call OmegaStarCubesPS.
 func OmegaStarCubes(m *demand.Map, arena *grid.Grid) (float64, error) {
-	vals, err := m.Values(arena)
+	ps, err := densify(m, arena)
 	if err != nil {
 		return 0, err
 	}
-	ps, err := grid.NewPrefixSum(arena, vals)
-	if err != nil {
-		return 0, err
-	}
-	maxSide := arena.Size(0)
-	for i := 1; i < arena.Dim(); i++ {
-		if s := arena.Size(i); s < maxSide {
-			maxSide = s
-		}
-	}
-	best := 0.0
-	for s := 1; s <= maxSide; s++ {
-		sum, _, ok := ps.MaxCubeSum(s)
-		if !ok || sum <= 0 {
-			continue
-		}
-		cube, err := grid.Cube(arena.Dim(), grid.Point{}, s)
-		if err != nil {
-			return 0, err
-		}
-		if w := grid.SolveOmega(cube, float64(sum)); w > best {
-			best = w
-		}
-	}
-	return best, nil
+	return OmegaStarCubesPS(ps)
+}
+
+// OmegaStarCubesPS is OmegaStarCubes on a prebuilt summed-area table.
+func OmegaStarCubesPS(ps *grid.PrefixSum) (float64, error) {
+	return cubeOmegaScan(ps, func(s int) int { return s + 1 })
 }
 
 // OmegaStarCubesDoubling is OmegaStarCubes restricted to power-of-two side
 // lengths — the granularity Algorithm 1 actually inspects. Exposed for the
 // ablation comparing full against doubling granularity.
 func OmegaStarCubesDoubling(m *demand.Map, arena *grid.Grid) (float64, error) {
+	ps, err := densify(m, arena)
+	if err != nil {
+		return 0, err
+	}
+	return OmegaStarCubesDoublingPS(ps)
+}
+
+// OmegaStarCubesDoublingPS is OmegaStarCubesDoubling on a prebuilt
+// summed-area table.
+func OmegaStarCubesDoublingPS(ps *grid.PrefixSum) (float64, error) {
+	return cubeOmegaScan(ps, func(s int) int { return s * 2 })
+}
+
+// densify renders (m, arena) into a fresh summed-area table.
+func densify(m *demand.Map, arena *grid.Grid) (*grid.PrefixSum, error) {
 	vals, err := m.Values(arena)
 	if err != nil {
-		return 0, err
+		return nil, err
 	}
-	ps, err := grid.NewPrefixSum(arena, vals)
-	if err != nil {
-		return 0, err
-	}
+	return grid.NewPrefixSum(arena, vals)
+}
+
+// cubeOmegaScan is the shared core of the cube omega* variants: walk side
+// lengths per the step rule, take each side's maximal cube sum from the
+// table, and solve the omega_T equation for it.
+func cubeOmegaScan(ps *grid.PrefixSum, step func(int) int) (float64, error) {
+	arena := ps.Grid()
 	maxSide := arena.Size(0)
 	for i := 1; i < arena.Dim(); i++ {
 		if s := arena.Size(i); s < maxSide {
@@ -332,7 +394,7 @@ func OmegaStarCubesDoubling(m *demand.Map, arena *grid.Grid) (float64, error) {
 		}
 	}
 	best := 0.0
-	for s := 1; s <= maxSide; s *= 2 {
+	for s := 1; s <= maxSide; s = step(s) {
 		sum, _, ok := ps.MaxCubeSum(s)
 		if !ok || sum <= 0 {
 			continue

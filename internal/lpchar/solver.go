@@ -9,6 +9,36 @@ import (
 	"repro/internal/grid"
 )
 
+// Probe tolerances shared by the fresh oracle (Reset+MaxFlow) and the
+// cut-certified probe path, hoisted so the two cannot drift.
+// feasSlackRel/feasSlackAbs are the relative and absolute slack under
+// which FeasibleAt treats the max flow as saturating the total demand;
+// bisectMaxIters/bisectTolRel bound Value()'s bisection on omega.
+const (
+	feasSlackRel   = 1e-9
+	feasSlackAbs   = 1e-9
+	bisectMaxIters = 60
+	bisectTolRel   = 1e-9
+)
+
+// probeGuardRel is the safety margin of the cut certificates: a probe is
+// declared infeasible without running the oracle only when its retained-cut
+// upper bound sits more than probeGuardRel*(1+total) below the saturation
+// threshold. In exact arithmetic the bound dominates the max flow outright,
+// so the guard only needs to absorb float slop: a couple of ulps in
+// evaluating the bound (integer demands sum exactly in float64) plus the
+// accumulated rounding by which the oracle's Dinic value can exceed the
+// exact max flow — at most ~1e-11 on these magnitudes, since Dinic's Eps
+// cutoff only ever pushes the value DOWN. 1e-8 relative keeps three orders
+// of magnitude of headroom while leaving the guard band around the
+// threshold narrow, which matters because every probe inside the band runs
+// the full oracle: each factor of two of unnecessary width costs one
+// un-certified bisection step. Every certified verdict equals the verdict
+// the fresh computation would have produced, which is what keeps Value()'s
+// bisection trajectory and output bit-identical to the from-scratch
+// implementation.
+const probeGuardRel = 1e-8
+
 // maxSupplyBoxVolume bounds the dense offset index over the support's
 // r-neighborhood bounding box. The suppliers themselves number at most
 // |support| * ballVolume regardless of how the support is spread, so past
@@ -134,6 +164,94 @@ func (si *supplyIndex) supplierAt(p grid.Point) int32 {
 	return -1
 }
 
+// relayout re-indexes the existing suppliers over the support's expanded
+// r-neighborhood bounding box, preserving supplier ids, so findOrAdd can
+// discover radius-extension suppliers against the full existing set. The
+// dense/sparse decision is retaken with the same rule a fresh build at r
+// applies (the ball volume comes from the closed form — extension walks
+// rings, never materializing the full ball), so an extended index and a
+// fresh one always agree on mode.
+func (si *supplyIndex) relayout(m *demand.Map, r int, supportLen int) error {
+	bbox, ok := m.BoundingBox()
+	if !ok {
+		return fmt.Errorf("lpchar: empty support")
+	}
+	box := bbox.Expand(r)
+	origin, err := grid.NewBox(m.Dim(), grid.Point{}, grid.Point{})
+	if err != nil {
+		return err
+	}
+	covered := int64(math.MaxInt64)
+	if f := float64(supportLen) * grid.NeighborhoodCountFloat(origin, float64(r)); f < float64(math.MaxInt64)/2 {
+		covered = int64(f)
+	}
+	var vol int64
+	vol, si.dense = denseIndexVolume(box, covered)
+	if si.dense {
+		si.idMap = nil
+		si.ix = grid.NewBoxIndex(box)
+		if int64(cap(si.id)) < vol {
+			si.id = make([]int32, vol)
+		}
+		si.id = si.id[:vol]
+		for i := range si.id {
+			si.id[i] = -1
+		}
+		for i, p := range si.suppliers {
+			si.id[si.ix.Offset(p)] = int32(i)
+		}
+		return nil
+	}
+	si.id = si.id[:0]
+	si.idMap = make(map[grid.Point]int32, len(si.suppliers))
+	for i, p := range si.suppliers {
+		si.idMap[p] = int32(i)
+	}
+	return nil
+}
+
+// findOrAdd returns p's supplier id, registering it as a fresh supplier (and
+// reporting fresh=true) when unseen. In dense mode p must lie inside the
+// relayout box.
+func (si *supplyIndex) findOrAdd(p grid.Point) (int32, bool) {
+	if si.dense {
+		off := si.ix.Offset(p)
+		if si.id[off] >= 0 {
+			return si.id[off], false
+		}
+		id := int32(len(si.suppliers))
+		si.id[off] = id
+		si.suppliers = append(si.suppliers, p)
+		return id, true
+	}
+	if id, ok := si.idMap[p]; ok {
+		return id, false
+	}
+	id := int32(len(si.suppliers))
+	si.idMap[p] = id
+	si.suppliers = append(si.suppliers, p)
+	return id, true
+}
+
+// ringOffsets returns the offsets at L1 distance exactly rr from the origin
+// — the shell ball(rr) adds over ball(rr-1) — in the row-major order the
+// full-ball enumeration visits them.
+func (si *supplyIndex) ringOffsets(dim, rr int) ([]grid.Point, error) {
+	origin, err := grid.NewBox(dim, grid.Point{}, grid.Point{})
+	if err != nil {
+		return nil, err
+	}
+	var zero grid.Point
+	all := grid.NeighborhoodPoints(origin, rr)
+	ring := all[:0]
+	for _, d := range all {
+		if grid.Manhattan(d, zero) == rr {
+			ring = append(ring, d)
+		}
+	}
+	return ring, nil
+}
+
 // Solver answers LP (2.1) feasibility probes for one (demand, radius) pair
 // without rebuilding anything: the supply graph is constructed once through
 // the dense offset index, the source-edge ids are recorded, and FeasibleAt
@@ -145,6 +263,24 @@ func (si *supplyIndex) supplierAt(p grid.Point) int32 {
 // the network arrays and index buffers — the "one solver per worker" rule
 // experiment sweeps follow, mirroring the online layer's one-runner-per-
 // worker discipline. A Solver is not safe for concurrent use.
+//
+// Value() retains structure across the probes of its bisection (PR 7) — but
+// the retained structure is the LP dual, not the primal flow. The max-flow
+// value is a concave piecewise-linear function of omega, and any s-t cut
+// bounds it from above at EVERY omega by fixed-capacity-crossing plus
+// (source-edges-crossing * omega). Each infeasible oracle run leaves a
+// minimum cut behind — the tangent line at that omega — which the solver
+// keeps and uses to certify later infeasible probes without touching the
+// flow network at all. Feasible probes always run the oracle: the LP's
+// feasibility slack (1e-9-relative) is tighter than the float drift between
+// any two augmentation orders, so a saturation verdict can only be taken
+// from the canonical fresh computation. (A retained-primal ladder —
+// RaiseCapacity + MaxFlowResume on ascending omega — was measured here and
+// lost: nearly every probe near the threshold had to re-run the fresh
+// oracle anyway, and the resumes were pure overhead. The flow package keeps
+// the resume API; the solver rides the dual.) Every probe's verdict equals
+// the fresh Reset+MaxFlow verdict, so the bisection trajectory — and
+// therefore Value()'s output — is bit-identical to the from-scratch ladder.
 type Solver struct {
 	total float64
 	maxD  float64
@@ -156,6 +292,21 @@ type Solver struct {
 	// probe rewrites.
 	srcEdges []int
 	sup      supplyIndex
+	// Instance handles for radius extension and the coarse bounds.
+	m       *demand.Map
+	support []grid.Point // bind-time support (sorted); demand j is support[j]
+	supNode []int32      // supplier id -> network node
+	demBase int          // node of demand j is demBase + j
+	cb      coarseBounds // radius-independent lower-bound witnesses
+	// Retained cut certificate: the max flow at source capacity omega is at
+	// most cutFix + cutSrc*omega (cutSrc source edges cross the cut at
+	// capacity omega; cutFix is the demand capacity crossing elsewhere).
+	// Captured from the minimum cut of the last infeasible oracle run; valid
+	// for the bound graph structure, so Bind and ExtendRadius reset it. The
+	// all-sources cut |srcEdges|*omega is always available alongside.
+	cutOK  bool
+	cutFix float64
+	cutSrc float64
 }
 
 // NewSolver builds a warm-reusable solver for LP (2.1) on (m, r).
@@ -177,14 +328,19 @@ func (s *Solver) Bind(m *demand.Map, r int) error {
 	s.total = float64(m.Total())
 	s.maxD = float64(m.Max())
 	s.r = r
+	s.m = m
+	s.cutOK = false
 	if s.total == 0 {
 		// Clear per-instance state so accessors don't report the previous
 		// binding.
 		s.sup.suppliers = s.sup.suppliers[:0]
 		s.srcEdges = s.srcEdges[:0]
+		s.support = s.support[:0]
+		s.supNode = s.supNode[:0]
 		return nil
 	}
 	support := m.Support()
+	s.support = support
 	if err := s.sup.build(m, r, support); err != nil {
 		return err
 	}
@@ -201,13 +357,16 @@ func (s *Solver) Bind(m *demand.Map, r int) error {
 		return err
 	}
 	s.src, s.sink = 0, n-1
+	s.demBase = 1 + len(s.sup.suppliers)
 	s.srcEdges = s.srcEdges[:0]
+	s.supNode = s.supNode[:0]
 	for i := range s.sup.suppliers {
 		id, err := s.nw.AddEdge(s.src, 1+i, 0)
 		if err != nil {
 			return err
 		}
 		s.srcEdges = append(s.srcEdges, id)
+		s.supNode = append(s.supNode, int32(1+i))
 	}
 	deltas, err := s.sup.ballOffsets(m.Dim(), r)
 	if err != nil {
@@ -235,9 +394,18 @@ func (s *Solver) Suppliers() int { return len(s.sup.suppliers) }
 // Radius returns the bound transport radius.
 func (s *Solver) Radius() int { return s.r }
 
+// saturated is the feasibility verdict shared by the fresh and incremental
+// paths: the max-flow value covers the total demand within slack.
+func (s *Solver) saturated(val float64) bool {
+	return val >= s.total*(1-feasSlackRel)-feasSlackAbs
+}
+
 // FeasibleAt reports whether capacity omega suffices for the bound instance:
 // the transportation polytope of LP (2.1) with the given omega is nonempty.
 // A warm probe rewrites only the source capacities and allocates nothing.
+// This is the from-scratch oracle (Reset + MaxFlow from zero flow); Value()
+// answers the same question through probe(), which skips the oracle when a
+// retained cut already determines its verdict.
 func (s *Solver) FeasibleAt(omega float64) (bool, error) {
 	if s.total == 0 {
 		return true, nil
@@ -245,31 +413,126 @@ func (s *Solver) FeasibleAt(omega float64) (bool, error) {
 	if omega <= 0 {
 		return false, nil
 	}
-	s.nw.Reset()
-	for _, id := range s.srcEdges {
-		if err := s.nw.SetCapacity(id, omega); err != nil {
-			return false, err
-		}
-	}
-	val, err := s.nw.MaxFlow(s.src, s.sink)
+	val, err := s.freshProbe(omega)
 	if err != nil {
 		return false, err
 	}
-	return val >= s.total*(1-1e-9)-1e-9, nil
+	return s.saturated(val), nil
+}
+
+// freshProbe is the canonical oracle computation: Reset to zero flow, set
+// the source capacities, one full MaxFlow. Bit-identical to a cold solve.
+func (s *Solver) freshProbe(omega float64) (float64, error) {
+	s.nw.Reset()
+	for _, id := range s.srcEdges {
+		if err := s.nw.SetCapacity(id, omega); err != nil {
+			return 0, err
+		}
+	}
+	return s.nw.MaxFlow(s.src, s.sink)
+}
+
+// probe answers one bisection probe at omega > 0, returning exactly the
+// verdict FeasibleAt would (pinned by TestLadderVerdictsMatchFresh and the
+// golden E4 pins) while keeping certifiably infeasible probes off the flow
+// network entirely: when the retained cut — or the trivial all-sources cut
+// |srcEdges|*omega — bounds the achievable flow a full guard below the
+// saturation threshold, no verdict can come out feasible and the oracle is
+// skipped. Otherwise the fresh oracle runs, and an infeasible run donates
+// its minimum cut as the new retained certificate — the tangent to the
+// concave flow-value curve at the highest infeasible omega seen, which is
+// exactly the line that prunes the remaining infeasible probes as the
+// bisection closes in from below. A warm probe allocates nothing.
+func (s *Solver) probe(omega float64) (bool, error) {
+	thr := s.total*(1-feasSlackRel) - feasSlackAbs
+	guard := probeGuardRel * (1 + s.total)
+	bound := float64(len(s.srcEdges)) * omega
+	if s.cutOK {
+		if b := s.cutFix + s.cutSrc*omega; b < bound {
+			bound = b
+		}
+	}
+	if bound < thr-guard {
+		return false, nil
+	}
+	val, err := s.freshProbe(omega)
+	if err != nil {
+		return false, err
+	}
+	if s.saturated(val) {
+		return true, nil
+	}
+	s.adoptCut()
+	return false, nil
+}
+
+// adoptCut captures the minimum cut the oracle's last (infeasible) run left
+// behind: suppliers unreachable in the final residual BFS cross the cut on
+// their omega-capacity source edge, reachable demands cross it on their
+// demand edge. Within one bisection, lo only rises, so the newest cut —
+// tangent at the highest infeasible omega so far — dominates every earlier
+// one on all future probes and is adopted unconditionally.
+func (s *Solver) adoptCut() {
+	src := 0.0
+	for _, node := range s.supNode {
+		if !s.nw.MinCutReachable(int(node)) {
+			src++
+		}
+	}
+	fix := 0.0
+	for j, q := range s.support {
+		if s.nw.MinCutReachable(s.demBase + j) {
+			fix += float64(s.m.At(q))
+		}
+	}
+	s.cutFix, s.cutSrc = fix, src
+	s.cutOK = true
+}
+
+// lowerBound returns the certified-infeasible threshold for the bound
+// radius: probes strictly below it are guaranteed an infeasible verdict
+// from the flow oracle, so Value() skips their flow solves entirely. The
+// bound instance knows |N_r(support)| exactly — its supplier count — which
+// sharpens the box witnesses' closed-form counts.
+func (s *Solver) lowerBound() (float64, error) {
+	if err := s.cb.ensure(s.m); err != nil {
+		return 0, err
+	}
+	lb := s.cb.lowerAt(float64(s.r))
+	if n := len(s.sup.suppliers); n > 0 {
+		if v := s.total/float64(n) - s.cb.margin(); v > lb {
+			lb = v
+		}
+	}
+	return lb, nil
 }
 
 // Value computes the exact value of LP (2.1) for the bound instance by
-// binary search on omega over warm FeasibleAt probes — bit-identical to the
-// pre-solver bisection, since each probe solves the same network.
+// binary search on omega. Probes below the coarse witness bound and probes
+// pruned by the retained cut certificates never run the flow oracle;
+// because every probe's verdict matches the fresh Reset+MaxFlow oracle, the
+// bisection trajectory and the returned value are bit-identical to the
+// pre-incremental implementation.
 func (s *Solver) Value() (float64, error) {
 	if s.total == 0 {
 		return 0, nil
 	}
+	lb, err := s.lowerBound()
+	if err != nil {
+		return 0, err
+	}
 	lo, hi := 0.0, s.maxD
 	// max_j d(j) is always feasible (each point serves itself), so hi works.
-	for iter := 0; iter < 60 && hi-lo > 1e-9*math.Max(1, hi); iter++ {
+	for iter := 0; iter < bisectMaxIters && hi-lo > bisectTolRel*math.Max(1, hi); iter++ {
 		mid := (lo + hi) / 2
-		ok, err := s.FeasibleAt(mid)
+		if mid < lb {
+			// Certified infeasible: the deficit at mid exceeds the
+			// feasibility slack by the safety margin, so the oracle's
+			// verdict is known without running it.
+			lo = mid
+			continue
+		}
+		ok, err := s.probe(mid)
 		if err != nil {
 			return 0, err
 		}
@@ -280,4 +543,56 @@ func (s *Solver) Value() (float64, error) {
 		}
 	}
 	return hi, nil
+}
+
+// ExtendRadius grows the bound radius in place. L1 balls are nested, so the
+// radius-newR supply graph is the radius-r graph plus (a) suppliers at ring
+// distance exactly r+1..newR from the support and (b) supplier->demand arcs
+// for pairs at exactly those distances — and enumerating support x ring
+// visits every such pair exactly once. The extended graph therefore has
+// exactly the edge set a fresh Bind(m, newR) builds, with the additions
+// appended rather than interleaved; Value() on the two orderings is pinned
+// equal by TestExtendRadiusMatchesFresh. Shrinking requires a full Bind.
+func (s *Solver) ExtendRadius(newR int) error {
+	if newR < s.r {
+		return fmt.Errorf("lpchar: ExtendRadius to %d below bound radius %d (rebind to shrink)", newR, s.r)
+	}
+	if s.total == 0 || newR == s.r {
+		s.r = newR
+		return nil
+	}
+	oldR := s.r
+	if err := s.sup.relayout(s.m, newR, len(s.support)); err != nil {
+		return err
+	}
+	for rr := oldR + 1; rr <= newR; rr++ {
+		ring, err := s.sup.ringOffsets(s.m.Dim(), rr)
+		if err != nil {
+			return err
+		}
+		for j, q := range s.support {
+			dj := s.demBase + j
+			for _, d := range ring {
+				sid, fresh := s.sup.findOrAdd(q.Add(d))
+				if fresh {
+					node, err := s.nw.AddNodes(1)
+					if err != nil {
+						return err
+					}
+					eid, err := s.nw.AddEdge(s.src, node, 0)
+					if err != nil {
+						return err
+					}
+					s.supNode = append(s.supNode, int32(node))
+					s.srcEdges = append(s.srcEdges, eid)
+				}
+				if _, err := s.nw.AddEdge(int(s.supNode[sid]), dj, math.Inf(1)); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	s.r = newR
+	s.cutOK = false // the retained cut does not cover the appended suppliers
+	return nil
 }

@@ -51,10 +51,13 @@ func (d *Dense) Arena() *grid.Grid { return d.arena }
 // At returns the demand at p through the dense array (no map lookup).
 func (d *Dense) At(p grid.Point) int64 { return d.vals[d.arena.Index(p)] }
 
-// prefix returns the summed-area table, building it on first use. OmegaC
-// needs it; Algorithm1 does not (its pyramid aggregates vals directly), so
-// laziness keeps the standalone Algorithm1 path's cost unchanged.
-func (d *Dense) prefix() (*grid.PrefixSum, error) {
+// Prefix returns the summed-area table over the dense values, building it on
+// first use and sharing it thereafter. OmegaC needs it; Algorithm1 does not
+// (its pyramid aggregates vals directly), so laziness keeps the standalone
+// Algorithm1 path's cost unchanged. Exported so pipeline consumers — the
+// lpchar cube omega* scans in E11 — reuse this table instead of densifying
+// the same demand again (the one-densification-per-pipeline rule).
+func (d *Dense) Prefix() (*grid.PrefixSum, error) {
 	if d.ps == nil {
 		ps, err := grid.NewPrefixSum(d.arena, d.vals)
 		if err != nil {
@@ -98,7 +101,7 @@ func (d *Dense) OmegaC() (CubeChar, error) {
 	if m.Total() == 0 {
 		return CubeChar{}, nil
 	}
-	ps, err := d.prefix()
+	ps, err := d.Prefix()
 	if err != nil {
 		return CubeChar{}, err
 	}
