@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	cmvrp -spec demand.json [-online] [-show] [-trace] [-seed 1]
+//	cmvrp -spec demand.json [-online] [-show] [-trace] [-seed 1] [-search gossip] [-fanout 3]
 //
 // -show renders ASCII heat maps of the demand and schedule (2-D arenas);
 // -trace streams the online simulation's event log.
@@ -45,8 +45,22 @@ func run(args []string, out io.Writer) error {
 	show := fs.Bool("show", false, "render demand and schedule heat maps (2-D only)")
 	trace := fs.Bool("trace", false, "stream the online event log (implies -online)")
 	seed := fs.Int64("seed", 1, "determinism seed for the online simulation")
+	search := fs.String("search", "diffuse", "Phase I dissemination protocol: diffuse or gossip")
+	fanout := fs.Int("fanout", 0, "gossip fanout bound (0 = full flood; requires -search gossip)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var protocol online.SearchProtocol
+	switch *search {
+	case "diffuse":
+		protocol = online.SearchDiffuse
+	case "gossip":
+		protocol = online.SearchGossip
+	default:
+		return fmt.Errorf("-search must be diffuse or gossip, got %q", *search)
+	}
+	if *fanout != 0 && protocol != online.SearchGossip {
+		return fmt.Errorf("-fanout requires -search gossip")
 	}
 	if *specPath == "" {
 		return fmt.Errorf("-spec is required")
@@ -120,6 +134,7 @@ func run(args []string, out io.Writer) error {
 			r, err := online.NewRunner(online.Options{
 				Arena: arena, CubeSide: char.Side, Partition: part,
 				Capacity: w, Seed: *seed,
+				Search: protocol, GossipFanout: *fanout,
 				Tracer: &online.WriterTracer{W: out},
 			})
 			if err != nil {
@@ -138,6 +153,7 @@ func run(args []string, out io.Writer) error {
 		won, err := online.MinCapacityParallel(seq, online.Options{
 			Arena: arena, CubeSide: char.Side, Partition: part,
 			Seed: *seed, SearchWorkers: 4,
+			Search: protocol, GossipFanout: *fanout,
 		}, 1, 0.05)
 		if err != nil {
 			return err

@@ -1,4 +1,4 @@
-// Command experiments regenerates every reproduction table E1..E13 (see
+// Command experiments regenerates every reproduction table E1..E15 (see
 // DESIGN.md for the index, EXPERIMENTS.md for the recorded outputs) and
 // prints them as markdown.
 //
@@ -54,7 +54,7 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	if len(tables) == 0 {
-		return fmt.Errorf("no experiment matches %q (valid: E1..E13)", *only)
+		return fmt.Errorf("no experiment matches %q (valid: E1..E15)", *only)
 	}
 	for _, t := range tables {
 		fmt.Fprintln(out, t.Markdown())

@@ -40,8 +40,8 @@ func TestRunQuickAll(t *testing.T) {
 	if !strings.Contains(out, "### E") {
 		t.Fatalf("missing experiment headers:\n%s", out[:200])
 	}
-	if got := strings.Count(out, "### E"); got != 13 {
-		t.Errorf("expected 13 experiment sections, got %d", got)
+	if got := strings.Count(out, "### E"); got != 15 {
+		t.Errorf("expected 15 experiment sections, got %d", got)
 	}
 }
 

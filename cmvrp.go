@@ -61,6 +61,16 @@ type (
 	// strategy. Build it once per sweep with NewOnlinePartition and share it
 	// across any number of runs via OnlineOptions.Partition.
 	OnlinePartition = online.Partition
+	// FailureModel is the pluggable failure configuration for online runs:
+	// the three crash knobs plus the Byzantine keep-beaconing mode.
+	FailureModel = online.FailureModel
+	// VehicleClass scales one fleet class's speed/energy/capacity.
+	VehicleClass = online.VehicleClass
+	// Fleet makes the online fleet heterogeneous (per-vehicle classes with
+	// partition-aware assignment).
+	Fleet = online.Fleet
+	// SearchProtocol selects the Phase I dissemination protocol.
+	SearchProtocol = online.SearchProtocol
 	// Longevity holds the Chapter 4 breakdown parameters p_i.
 	Longevity = broken.Longevity
 	// ConvoyParams configures the Section 5.2.1 transfer convoy.
@@ -73,6 +83,12 @@ type (
 const (
 	FixedCost    = transfer.FixedCost
 	VariableCost = transfer.VariableCost
+)
+
+// Phase I dissemination protocols for OnlineOptions.Search.
+const (
+	SearchDiffuse = online.SearchDiffuse
+	SearchGossip  = online.SearchGossip
 )
 
 // P builds a Point from coordinates.

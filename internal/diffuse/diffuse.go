@@ -19,8 +19,9 @@ import (
 	"repro/internal/sim"
 )
 
-// Message kinds owned by this package (range 1..15 of the sim.Msg kind
-// space). Operand layout per kind:
+// Message kinds owned by this package (range 1..7 of the sim.Msg kind
+// space; 8..15 belongs to the sibling search engine in package gossip).
+// Operand layout per kind:
 //
 //	KindQuery   — A: initiator id, B: sequence number (Phase I probe)
 //	KindReply   — A: initiator id, B: sequence number, C: 1 if the subtree

@@ -185,8 +185,8 @@ func TestAllQuickRunsEverything(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(tables) != 13 {
-		t.Fatalf("got %d tables, want 13", len(tables))
+	if len(tables) != 15 {
+		t.Fatalf("got %d tables, want 15", len(tables))
 	}
 	ids := map[string]bool{}
 	for _, tbl := range tables {
@@ -199,7 +199,7 @@ func TestAllQuickRunsEverything(t *testing.T) {
 			t.Errorf("%s: malformed markdown", tbl.ID)
 		}
 	}
-	for i := 1; i <= 13; i++ {
+	for i := 1; i <= 15; i++ {
 		id := "E" + strconv.Itoa(i)
 		if !ids[id] {
 			t.Errorf("missing experiment %s", id)
@@ -288,6 +288,8 @@ func TestSweepExperimentsDeterministicAcrossWorkerCounts(t *testing.T) {
 		"E7":  func(w int) (*Table, error) { return E7Online(8, 80, 13, w) },
 		"E11": func(w int) (*Table, error) { return E11Ablations(8, 80, 3, w) },
 		"E13": func(w int) (*Table, error) { return E13Robustness([]float64{0, 0.5, 1}, 5, w) },
+		"E14": func(w int) (*Table, error) { return E14FailureModels([]float64{0, 0.25, 0.5}, 5, w) },
+		"E15": func(w int) (*Table, error) { return E15GossipFidelity([]int{-1, 0, 1, 2, 3}, 5, w) },
 	}
 	for id, build := range builders {
 		t.Run(id, func(t *testing.T) {
@@ -295,14 +297,57 @@ func TestSweepExperimentsDeterministicAcrossWorkerCounts(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			wide, err := build(8)
-			if err != nil {
-				t.Fatal(err)
-			}
-			if serial.Markdown() != wide.Markdown() {
-				t.Errorf("%s drifted between workers=1 and workers=8:\n--- w=1\n%s\n--- w=8\n%s",
-					id, serial.Markdown(), wide.Markdown())
+			for _, w := range []int{2, 4, 8} {
+				wide, err := build(w)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if serial.Markdown() != wide.Markdown() {
+					t.Errorf("%s drifted between workers=1 and workers=%d:\n--- w=1\n%s\n--- w=%d\n%s",
+						id, w, serial.Markdown(), w, wide.Markdown())
+				}
 			}
 		})
+	}
+}
+
+// TestE14ByzantineNeedsEvidence pins the E14 story at the table level: with
+// half the cells dying, the crash-silent row is rescued by beacon timeouts
+// while the crash-then-lie row is rescued exclusively through the evidence
+// channel.
+func TestE14ByzantineNeedsEvidence(t *testing.T) {
+	tbl, err := E14FailureModels([]float64{0.5}, 2008, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 4 {
+		t.Fatalf("got %d rows, want 4", len(tbl.Rows))
+	}
+	// Columns: fraction, model, served, silent, evidence, replacements, ...
+	silentRow, lieRow := tbl.Rows[0], tbl.Rows[1]
+	if silentRow[3] == "0" || silentRow[4] != "0" {
+		t.Errorf("crash-silent row %v: want silent rescues > 0, evidence = 0", silentRow)
+	}
+	if lieRow[3] != "0" || lieRow[4] == "0" {
+		t.Errorf("crash-then-lie row %v: want silent rescues = 0, evidence > 0", lieRow)
+	}
+}
+
+// TestE15FullFloodMatchesDiffuse pins the degradation guarantee at the
+// table level: the fanout-0 gossip row equals the diffuse baseline row in
+// every measured column.
+func TestE15FullFloodMatchesDiffuse(t *testing.T) {
+	tbl, err := E15GossipFidelity([]int{-1, 0}, 2008, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(tbl.Rows))
+	}
+	for c := 1; c < len(tbl.Rows[0]); c++ {
+		if tbl.Rows[0][c] != tbl.Rows[1][c] {
+			t.Errorf("column %d: diffuse %q vs full flood %q",
+				c, tbl.Rows[0][c], tbl.Rows[1][c])
+		}
 	}
 }

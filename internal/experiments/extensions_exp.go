@@ -120,6 +120,8 @@ func Some(id string, quick bool, workers int) ([]*Table, error) {
 		e9R1s       = []int{2, 4, 8, 16, 32}
 		e10Lens     = []int{128, 512, 2048}
 		e10D        = int64(2500)
+		e14Fracs    = []float64{0, 0.25, 0.5}
+		e15Fanouts  = []int{-1, 0, 1, 2, 3}
 	)
 	if quick {
 		squareSides = []int{4, 16}
@@ -132,6 +134,8 @@ func Some(id string, quick bool, workers int) ([]*Table, error) {
 		e8Sides = []int{2, 4}
 		e9R1s = []int{2, 4}
 		e10Lens = []int{128, 512}
+		e14Fracs = []float64{0, 0.5}
+		e15Fanouts = []int{-1, 0, 2}
 	}
 	const seed = 2008 // the thesis' year, for reproducibility flavor
 	var tables []*Table
@@ -152,6 +156,8 @@ func Some(id string, quick bool, workers int) ([]*Table, error) {
 		{"E11", func() (*Table, error) { return E11Ablations(e7N, e7Jobs, seed, workers) }},
 		{"E12", func() (*Table, error) { return E12DimensionSweep(4000) }},
 		{"E13", func() (*Table, error) { return E13Robustness([]float64{0, 0.25, 0.5, 1}, seed, workers) }},
+		{"E14", func() (*Table, error) { return E14FailureModels(e14Fracs, seed, workers) }},
+		{"E15", func() (*Table, error) { return E15GossipFidelity(e15Fanouts, seed, workers) }},
 	} {
 		if id != "" && exp.id != id {
 			continue

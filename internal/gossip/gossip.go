@@ -1,0 +1,306 @@
+// Package gossip implements a derandomized gossip alternative to the
+// diffusing-computation search of package diffuse: an initiator starts a
+// rumor; every node that hears a fresh rumor forwards it to at most Fanout
+// neighbors instead of its whole neighborhood. Termination detection and the
+// Phase II payload path are inherited from the Dijkstra-Scholten scheme —
+// every forwarded rumor is acknowledged, acks drain up the first-parent
+// tree — so a gossip search always completes, but with a fanout below the
+// node degree the rumor covers only a subgraph and may miss the only idle
+// candidate. Fanout is the fidelity/traffic knob: fewer messages, lower
+// discovery probability.
+//
+// Gossip protocols pick forwarding targets at random; drawing from the
+// simulator's RNG stream inside handlers would entangle protocol choices
+// with the delivery scheduler, so the peer selection is *derandomized*: the
+// forwarded subset is a deterministic mix of (initiator, sequence, self)
+// rotated over the neighbor list. Episodes stay single-seed reproducible
+// and bit-identical across worker counts, and different searches (and
+// different nodes) still spread over different subsets, which is all the
+// gossip family needs from its randomness.
+//
+// With Fanout 0 (or >= the node degree) the flood, the acknowledgement
+// tree, and therefore the entire message schedule coincide with package
+// diffuse's computation message for message — pinned by the online layer's
+// tests — so the gossip engine degrades gracefully to the exact protocol it
+// replaces.
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Message kinds owned by this package (range 8..15 of the sim.Msg kind
+// space; 1..7 belongs to package diffuse). Operand layout per kind:
+//
+//	KindRumor   — A: initiator id, B: sequence number (the fanout-limited
+//	              Phase I probe)
+//	KindAck     — A: initiator id, B: sequence number, C: 1 if the subtree
+//	              below the sender contains a candidate, else 0
+//	KindForward — A: initiator id, B: sequence number, C/D: the two opaque
+//	              payload words (Payload.A / Payload.B)
+const (
+	KindRumor uint8 = iota + 8
+	KindAck
+	KindForward
+)
+
+// Payload is the opaque two-word Phase II payload riding KindForward
+// messages along the child chain from initiator to candidate.
+type Payload struct {
+	A, B uint32
+}
+
+// State is the message-transfer state, mirroring diffuse.State.
+type State int
+
+// Message-transfer states.
+const (
+	// Waiting: not currently partaking in a search.
+	Waiting State = iota + 1
+	// Spreading: heard the rumor, forwarded it, awaiting acks.
+	Spreading
+	// Initiator: started the current search and awaiting acks.
+	Initiator
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	switch s {
+	case Waiting:
+		return "waiting"
+	case Spreading:
+		return "spreading"
+	case Initiator:
+		return "initiator"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Config wires an Engine to its host.
+type Config struct {
+	// Neighbors returns the candidate forwarding targets (for the online
+	// strategy: same-cube vehicles within communication range).
+	Neighbors func() []sim.NodeID
+	// IsCandidate reports whether this node satisfies the search predicate.
+	IsCandidate func() bool
+	// Fanout returns the per-node forwarding bound for the current episode;
+	// 0 (or >= the neighbor count) means forward to every neighbor. Read
+	// per flood so a pooled host can re-tune it between episodes without
+	// rebuilding engines.
+	Fanout func() int
+	// OnComplete fires at the initiator when its search terminates. found
+	// reports whether a candidate was located within the gossiped subgraph.
+	OnComplete func(ctx sim.Sender, seq int, found bool)
+	// OnPayload fires at the candidate when a Phase II payload arrives.
+	OnPayload func(ctx sim.Sender, payload Payload)
+}
+
+// Engine holds the per-node gossip state: structurally the diffusing
+// computation's (num, par, child, init) over the fanout-limited subgraph.
+type Engine struct {
+	cfg Config
+
+	state State
+	num   int        // outstanding acks
+	par   sim.NodeID // parent in the rumor tree
+	child sim.NodeID // first subtree that reported a candidate
+	init  sim.NodeID // initiator of the search last joined
+	seq   int        // sequence number of the search last joined
+
+	nextSeq int // local counter for searches this node initiates
+}
+
+// New creates an engine. Neighbors and IsCandidate are required; Fanout and
+// the callbacks may be nil (nil Fanout means full flood).
+func New(cfg Config) (*Engine, error) {
+	if cfg.Neighbors == nil {
+		return nil, fmt.Errorf("gossip: Neighbors is required")
+	}
+	if cfg.IsCandidate == nil {
+		return nil, fmt.Errorf("gossip: IsCandidate is required")
+	}
+	return &Engine{cfg: cfg, state: Waiting, par: sim.None, child: sim.None, init: sim.None}, nil
+}
+
+// State returns the node's current message-transfer state.
+func (e *Engine) State() State { return e.state }
+
+// Reset restores the engine to its freshly constructed state without
+// reallocating — the same warm-start contract as diffuse.Engine.Reset.
+func (e *Engine) Reset() {
+	e.state = Waiting
+	e.num = 0
+	e.par = sim.None
+	e.child = sim.None
+	e.init = sim.None
+	e.seq = 0
+	e.nextSeq = 0
+}
+
+func rumorMsg(init sim.NodeID, seq int) sim.Msg {
+	return sim.Msg{Kind: KindRumor, A: uint32(init), B: uint32(seq)}
+}
+
+func ackMsg(init sim.NodeID, seq int, found bool) sim.Msg {
+	m := sim.Msg{Kind: KindAck, A: uint32(init), B: uint32(seq)}
+	if found {
+		m.C = 1
+	}
+	return m
+}
+
+// spread forwards the rumor to this node's fanout subset and returns how
+// many targets were contacted. The subset is min(fanout, degree) neighbors
+// taken consecutively from a start offset mixed from (initiator, sequence,
+// self) — the derandomized stand-in for random peer selection. No slice is
+// built: the warm search path stays allocation-free.
+func (e *Engine) spread(ctx sim.Sender, init sim.NodeID, seq int) int {
+	neigh := e.cfg.Neighbors()
+	n := len(neigh)
+	if n == 0 {
+		return 0
+	}
+	f := 0
+	if e.cfg.Fanout != nil {
+		f = e.cfg.Fanout()
+	}
+	// One inline rumor value fans out to every chosen target: each send
+	// copies three words into the link's ring buffer.
+	msg := rumorMsg(init, seq)
+	if f <= 0 || f >= n {
+		for _, t := range neigh {
+			ctx.Send(t, msg)
+		}
+		return n
+	}
+	start := (31*int(init) + 17*int(ctx.Self()) + 13*seq) % n
+	for i := 0; i < f; i++ {
+		ctx.Send(neigh[(start+i)%n], msg)
+	}
+	return f
+}
+
+// StartSearch begins a new gossip search with this node as the initiator
+// and returns the search's sequence number. If the fanout subset is empty
+// the search completes immediately (found=false).
+func (e *Engine) StartSearch(ctx sim.Sender) int {
+	e.nextSeq++
+	seq := e.nextSeq
+	e.state = Initiator
+	e.par = sim.None
+	e.child = sim.None
+	e.init = ctx.Self()
+	e.seq = seq
+	e.num = e.spread(ctx, ctx.Self(), seq)
+	if e.num == 0 {
+		e.state = Waiting
+		if e.cfg.OnComplete != nil {
+			e.cfg.OnComplete(ctx, seq, false)
+		}
+	}
+	return seq
+}
+
+// Handle processes a message if it belongs to the gossip protocol and
+// reports whether it consumed it. Hosts call this first from OnMessage.
+func (e *Engine) Handle(ctx sim.Sender, from sim.NodeID, m sim.Msg) bool {
+	switch m.Kind {
+	case KindRumor:
+		e.onRumor(ctx, from, sim.NodeID(m.A), int(m.B))
+	case KindAck:
+		e.onAck(ctx, from, sim.NodeID(m.A), int(m.B), m.C != 0)
+	case KindForward:
+		e.onForward(ctx, m)
+	default:
+		return false
+	}
+	return true
+}
+
+func (e *Engine) onRumor(ctx sim.Sender, from, init sim.NodeID, seq int) {
+	fresh := e.init != init || e.seq != seq
+	if e.state != Waiting || !fresh {
+		// Already infected (or busy with another search): ack immediately so
+		// the sender's outstanding counter drains.
+		ctx.Send(from, ackMsg(init, seq, false))
+		return
+	}
+	e.par = from
+	e.init = init
+	e.seq = seq
+	e.child = sim.None
+	if e.cfg.IsCandidate() {
+		// A candidate answers immediately and stays waiting; it becomes the
+		// leaf of the rumor path.
+		ctx.Send(from, ackMsg(init, seq, true))
+		return
+	}
+	e.state = Spreading
+	e.num = e.spread(ctx, init, seq)
+	if e.num == 0 {
+		e.state = Waiting
+		ctx.Send(from, ackMsg(init, seq, false))
+	}
+}
+
+func (e *Engine) onAck(ctx sim.Sender, from, init sim.NodeID, seq int, found bool) {
+	if init != e.init || seq != e.seq || (e.state != Spreading && e.state != Initiator) {
+		// Stale ack from an abandoned search; drop it.
+		return
+	}
+	e.num--
+	if found && e.child == sim.None {
+		e.child = from
+		if e.state == Spreading {
+			// Propagate the discovery up immediately.
+			ctx.Send(e.par, ackMsg(init, seq, true))
+		}
+	}
+	if e.num == 0 {
+		wasInitiator := e.state == Initiator
+		e.state = Waiting
+		if wasInitiator {
+			if e.cfg.OnComplete != nil {
+				e.cfg.OnComplete(ctx, seq, e.child != sim.None)
+			}
+			return
+		}
+		if e.child == sim.None {
+			ctx.Send(e.par, ackMsg(init, seq, false))
+		}
+	}
+}
+
+// ForwardPayload launches Phase II from the initiator after a successful
+// search: the payload rides the child chain to the candidate.
+func (e *Engine) ForwardPayload(ctx sim.Sender, seq int, payload Payload) error {
+	if e.init != ctx.Self() || e.seq != seq {
+		return fmt.Errorf("gossip: node %d does not own search seq %d", ctx.Self(), seq)
+	}
+	if e.child == sim.None {
+		return fmt.Errorf("gossip: search %d found no candidate", seq)
+	}
+	ctx.Send(e.child, sim.Msg{
+		Kind: KindForward,
+		A:    uint32(ctx.Self()), B: uint32(seq),
+		C: payload.A, D: payload.B,
+	})
+	return nil
+}
+
+func (e *Engine) onForward(ctx sim.Sender, m sim.Msg) {
+	if e.init != sim.NodeID(m.A) || e.seq != int(m.B) {
+		// A forward for a search this node never joined; drop.
+		return
+	}
+	if e.child != sim.None {
+		ctx.Send(e.child, m)
+		return
+	}
+	if e.cfg.OnPayload != nil {
+		e.cfg.OnPayload(ctx, Payload{A: m.C, B: m.D})
+	}
+}

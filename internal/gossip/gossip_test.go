@@ -1,0 +1,309 @@
+package gossip
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// kindStart is a host-level test message (32..127 is the test range of the
+// sim.Msg kind space) telling a host to initiate a search.
+const kindStart uint8 = 41
+
+func startMsg() sim.Msg { return sim.Msg{Kind: kindStart} }
+
+// host is a minimal process wrapping an Engine over a fixed graph.
+type host struct {
+	id        sim.NodeID
+	eng       *Engine
+	adj       []sim.NodeID
+	candidate bool
+	fanout    int
+
+	completions []bool    // found flags, in completion order
+	payloads    []Payload // Phase II deliveries
+	autoForward bool
+	autoPayload Payload
+}
+
+func newHost(t *testing.T, id sim.NodeID, adj []sim.NodeID, candidate bool, fanout int) *host {
+	t.Helper()
+	h := &host{id: id, adj: adj, candidate: candidate, fanout: fanout}
+	eng, err := New(Config{
+		Neighbors:   func() []sim.NodeID { return h.adj },
+		IsCandidate: func() bool { return h.candidate },
+		Fanout:      func() int { return h.fanout },
+		OnComplete: func(ctx sim.Sender, seq int, found bool) {
+			h.completions = append(h.completions, found)
+			if found && h.autoForward {
+				if err := h.eng.ForwardPayload(ctx, seq, h.autoPayload); err != nil {
+					t.Errorf("forward: %v", err)
+				}
+			}
+		},
+		OnPayload: func(_ sim.Sender, payload Payload) {
+			h.payloads = append(h.payloads, payload)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.eng = eng
+	return h
+}
+
+func (h *host) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
+	if h.eng.Handle(ctx, from, msg) {
+		return
+	}
+	if msg.Kind == kindStart {
+		h.eng.StartSearch(ctx)
+	}
+}
+
+// buildNetwork wires hosts over an undirected adjacency list with a shared
+// fanout bound.
+func buildNetwork(t *testing.T, seed int64, edges [][2]int, n int, candidates map[int]bool, fanout int) (*sim.Network, []*host) {
+	t.Helper()
+	adj := make([][]sim.NodeID, n)
+	for _, e := range edges {
+		adj[e[0]] = append(adj[e[0]], sim.NodeID(e[1]))
+		adj[e[1]] = append(adj[e[1]], sim.NodeID(e[0]))
+	}
+	net := sim.NewNetwork(seed)
+	hosts := make([]*host, n)
+	for i := 0; i < n; i++ {
+		hosts[i] = newHost(t, sim.NodeID(i), adj[i], candidates[i], fanout)
+		if err := net.Add(sim.NodeID(i), hosts[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return net, hosts
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{IsCandidate: func() bool { return false }}); err == nil {
+		t.Error("missing Neighbors should fail")
+	}
+	if _, err := New(Config{Neighbors: func() []sim.NodeID { return nil }}); err == nil {
+		t.Error("missing IsCandidate should fail")
+	}
+}
+
+func TestFullFloodFindsReachableCandidate(t *testing.T) {
+	// Path graph 0-1-2-3 with the only candidate at 3; fanout 0 = full
+	// flood, so the rumor must reach it.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	net, hosts := buildNetwork(t, 1, edges, 4, map[int]bool{3: true}, 0)
+	want := Payload{A: 1000, B: 42}
+	hosts[0].autoForward = true
+	hosts[0].autoPayload = want
+	net.Inject(0, startMsg())
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts[0].completions) != 1 || !hosts[0].completions[0] {
+		t.Fatalf("initiator completions %v", hosts[0].completions)
+	}
+	if len(hosts[3].payloads) != 1 || hosts[3].payloads[0] != want {
+		t.Fatalf("candidate payloads %v", hosts[3].payloads)
+	}
+}
+
+func TestFanoutOneOnPathStillReaches(t *testing.T) {
+	// On a path every interior node has degree 2; with fanout 1 the chosen
+	// target is deterministic but may point backwards, so the search must
+	// *terminate* either way — found or not, exactly one completion.
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}}
+	net, hosts := buildNetwork(t, 1, edges, 4, map[int]bool{3: true}, 1)
+	net.Inject(0, startMsg())
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts[0].completions) != 1 {
+		t.Fatalf("completions %v, want exactly one", hosts[0].completions)
+	}
+}
+
+func TestSearchNoCandidate(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}}
+	net, hosts := buildNetwork(t, 2, edges, 3, nil, 0)
+	net.Inject(0, startMsg())
+	if err := net.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts[0].completions) != 1 || hosts[0].completions[0] {
+		t.Fatalf("completions %v, want one false", hosts[0].completions)
+	}
+}
+
+func TestIsolatedInitiator(t *testing.T) {
+	net, hosts := buildNetwork(t, 3, nil, 1, nil, 2)
+	net.Inject(0, startMsg())
+	if err := net.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if len(hosts[0].completions) != 1 || hosts[0].completions[0] {
+		t.Fatalf("isolated initiator completions %v", hosts[0].completions)
+	}
+}
+
+// TestAlwaysTerminatesAnyFanout is the gossip analogue of the diffuse
+// random-graph sweep: for random graphs and every fanout, the search must
+// complete exactly once, never report a candidate when none exists, and
+// deliver a successful payload exactly once to a true candidate.
+func TestAlwaysTerminatesAnyFanout(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(15)
+		var edges [][2]int
+		for i := 1; i < n; i++ {
+			edges = append(edges, [2]int{rng.Intn(i), i})
+		}
+		for k := 0; k < n/2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				edges = append(edges, [2]int{a, b})
+			}
+		}
+		candidates := map[int]bool{}
+		for i := 1; i < n; i++ {
+			if rng.Intn(4) == 0 {
+				candidates[i] = true
+			}
+		}
+		for fanout := 0; fanout <= 3; fanout++ {
+			net, hosts := buildNetwork(t, int64(trial), edges, n, candidates, fanout)
+			hosts[0].autoForward = true
+			hosts[0].autoPayload = Payload{A: uint32(trial), B: 9}
+			net.Inject(0, startMsg())
+			if err := net.Run(1_000_000); err != nil {
+				t.Fatalf("trial %d fanout %d: %v", trial, fanout, err)
+			}
+			if len(hosts[0].completions) != 1 {
+				t.Fatalf("trial %d fanout %d: completions %v", trial, fanout, hosts[0].completions)
+			}
+			found := hosts[0].completions[0]
+			if found && len(candidates) == 0 {
+				t.Fatalf("trial %d fanout %d: found without candidates", trial, fanout)
+			}
+			// Full flood on a connected graph has the diffuse guarantee:
+			// found iff any candidate exists.
+			if fanout == 0 && found != (len(candidates) > 0) {
+				t.Fatalf("trial %d: full flood found=%v, candidates=%v", trial, found, candidates)
+			}
+			delivered := 0
+			for i, h := range hosts {
+				if len(h.payloads) > 0 && !candidates[i] {
+					t.Fatalf("trial %d fanout %d: payload at non-candidate %d", trial, fanout, i)
+				}
+				delivered += len(h.payloads)
+			}
+			if found && delivered != 1 {
+				t.Fatalf("trial %d fanout %d: payload delivered %d times", trial, fanout, delivered)
+			}
+		}
+	}
+}
+
+// TestFanoutBoundsTraffic pins the fidelity/traffic knob's traffic side:
+// on a dense graph, lowering the fanout can only lower (or keep) the
+// delivered-message count of one search.
+func TestFanoutBoundsTraffic(t *testing.T) {
+	// Complete graph on 10 nodes, no candidates (worst-case full spread).
+	n := 10
+	var edges [][2]int
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, [2]int{i, j})
+		}
+	}
+	run := func(fanout int) int64 {
+		net, hosts := buildNetwork(t, 5, edges, n, nil, fanout)
+		net.Inject(0, startMsg())
+		if err := net.Run(1_000_000); err != nil {
+			t.Fatal(err)
+		}
+		if len(hosts[0].completions) != 1 {
+			t.Fatalf("fanout %d: completions %v", fanout, hosts[0].completions)
+		}
+		return net.Delivered()
+	}
+	full := run(0)
+	prev := full
+	for fanout := n - 1; fanout >= 1; fanout-- {
+		got := run(fanout)
+		if got > prev {
+			t.Errorf("fanout %d delivered %d messages, more than fanout %d's %d",
+				fanout, got, fanout+1, prev)
+		}
+		prev = got
+	}
+	if one := run(1); one >= full {
+		t.Errorf("fanout 1 delivered %d messages, full flood %d — no traffic saving", one, full)
+	}
+}
+
+// TestEngineResetMatchesFresh pins the warm-start contract shared with the
+// diffuse engine: after Reset, a search replays bit-for-bit.
+func TestEngineResetMatchesFresh(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 3}, {0, 4}, {4, 3}}
+	run := func(net *sim.Network, hosts []*host) (bool, int64) {
+		net.Inject(0, startMsg())
+		if err := net.Run(10_000); err != nil {
+			t.Fatal(err)
+		}
+		if len(hosts[0].completions) != 1 {
+			t.Fatalf("want 1 completion, got %d", len(hosts[0].completions))
+		}
+		return hosts[0].completions[0], net.Delivered()
+	}
+	net, hosts := buildNetwork(t, 11, edges, 5, map[int]bool{3: true}, 2)
+	wantFound, wantMsgs := run(net, hosts)
+	for i := 0; i < 3; i++ {
+		net.Reset(11)
+		for _, h := range hosts {
+			h.eng.Reset()
+			h.completions = nil
+		}
+		if f, m := run(net, hosts); f != wantFound || m != wantMsgs {
+			t.Fatalf("reset replay %d diverged: found=%v msgs=%d, want %v/%d",
+				i, f, m, wantFound, wantMsgs)
+		}
+	}
+}
+
+func TestForwardPayloadErrors(t *testing.T) {
+	edges := [][2]int{{0, 1}}
+	net, hosts := buildNetwork(t, 11, edges, 2, nil, 0)
+	net.Inject(0, startMsg())
+	if err := net.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	fake := &fakeSender{self: 0}
+	if err := hosts[0].eng.ForwardPayload(fake, 1, Payload{A: 1}); err == nil {
+		t.Error("forwarding without a candidate should fail")
+	}
+	if err := hosts[0].eng.ForwardPayload(fake, 99, Payload{A: 1}); err == nil {
+		t.Error("forwarding an unknown seq should fail")
+	}
+}
+
+type fakeSender struct {
+	self sim.NodeID
+	sent []sim.Msg
+}
+
+func (f *fakeSender) Self() sim.NodeID { return f.self }
+func (f *fakeSender) Send(_ sim.NodeID, msg sim.Msg) {
+	f.sent = append(f.sent, msg)
+}
+
+func TestStateString(t *testing.T) {
+	for _, s := range []State{Waiting, Spreading, Initiator, State(42)} {
+		if s.String() == "" {
+			t.Errorf("empty string for state %d", int(s))
+		}
+	}
+}

@@ -55,6 +55,7 @@ type Partition struct {
 
 	cubePairs [][]int   // cube -> pair indices (snake order)
 	commIdx   [][]int32 // arena index -> same-cube cells within distance 2
+	watchIdx  []int32   // pair -> the pair it watches (inverse of WatcherPair)
 	numCubes  int
 }
 
@@ -137,6 +138,14 @@ func (p *Partition) walkCubes(corner [grid.MaxDim]int, axis int) error {
 		}
 	}
 	p.cubePairs = append(p.cubePairs, pairIdxs)
+	// Monitoring ring inverse: pair list[i] is watched by list[(i+1)%n], so
+	// list[(i+1)%n] *watches* list[i]. Precomputing the inverse here turns
+	// the watcher's per-check-round scan into one table read (a one-pair
+	// cube watches itself, which the check path skips).
+	p.watchIdx = append(p.watchIdx, make([]int32, len(pairIdxs))...)
+	for i, pid := range pairIdxs {
+		p.watchIdx[pairIdxs[(i+1)%len(pairIdxs)]] = int32(pid)
+	}
 	// Communication graph: same-cube cells within L1 distance 2, in snake
 	// order (the order is part of the deterministic message schedule).
 	for _, a := range cells {
@@ -265,3 +274,9 @@ func (p *Partition) WatcherPair(id int) int {
 	}
 	return id // unreachable for a consistent partition
 }
+
+// WatchedPair returns the pair that pair `watcher` monitors — the
+// precomputed inverse of WatcherPair. Every pair watches exactly one other
+// pair of its cube (itself in a one-pair cube), so the check round reads one
+// table entry instead of scanning the cube's pair list.
+func (p *Partition) WatchedPair(watcher int) int { return int(p.watchIdx[watcher]) }

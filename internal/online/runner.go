@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/demand"
 	"repro/internal/diffuse"
+	"repro/internal/gossip"
 	"repro/internal/grid"
 	"repro/internal/sim"
 )
@@ -30,17 +31,40 @@ type Options struct {
 	// Seed drives the message-delay randomness.
 	Seed int64
 	// FailInitiate marks home cells whose vehicle, upon exhaustion, fails to
-	// start its replacement search (Section 3.2.5 scenario 2).
+	// start its replacement search (Section 3.2.5 scenario 2). Legacy flat
+	// knob; prefer Failure for new code. Keys must lie in the arena.
 	FailInitiate map[grid.Point]bool
 	// DeadBeforeArrival kills the vehicle homed at a cell right before the
 	// given arrival index is processed (scenario 3). Dead vehicles stop
-	// serving and initiating but keep relaying messages.
+	// serving and initiating but keep relaying messages. Legacy flat knob;
+	// prefer Failure for new code.
 	DeadBeforeArrival map[grid.Point]int
 	// Longevity gives vehicles the Chapter 4 breakdown parameter p_i: the
 	// vehicle homed at a cell breaks the moment it has spent a fraction p
 	// of its capacity (0 = broken from the start, 1 or absent = never
-	// breaks). This is scenario 4 of Section 3.2.5 made concrete.
+	// breaks). This is scenario 4 of Section 3.2.5 made concrete. Legacy
+	// flat knob; prefer Failure for new code. Keys must lie in the arena.
 	Longevity map[grid.Point]float64
+	// Failure, when set, supplies the full pluggable failure model — the
+	// three crash knobs above plus the Byzantine mode. Mutually exclusive
+	// with the legacy flat fields: an episode's failure configuration has
+	// exactly one source of truth.
+	Failure *FailureModel
+	// Fleet, when set, makes the fleet heterogeneous: per-vehicle
+	// speed/energy/capacity classes with partition-aware assignment. Nil
+	// means the thesis' uniform fleet (and bit-identical behavior to it).
+	Fleet *Fleet
+	// Search selects the Phase I dissemination protocol: SearchDiffuse (the
+	// default Dijkstra-Scholten diffusing computation) or SearchGossip (the
+	// fanout-limited gossip alternative). Selectable per episode on pooled
+	// runners via ResetEpisode.
+	Search SearchProtocol
+	// GossipFanout bounds per-node forwarding when Search == SearchGossip:
+	// each node spreads a rumor to at most this many deterministically
+	// chosen neighbors. 0 means full flood (message-for-message identical
+	// to the diffusing computation); setting it without SearchGossip is an
+	// error.
+	GossipFanout int
 	// Monitoring enables the Section 3.2.5 heartbeat ring. Without it,
 	// scenario 2/3 failures go unrepaired.
 	Monitoring bool
@@ -84,9 +108,30 @@ type Result struct {
 	// that found no idle candidate.
 	Searches       int64
 	SearchFailures int64
-	// MonitorRescues counts replacement searches initiated by watchers
-	// rather than by the exhausted vehicle itself.
+	// MonitorRescues counts replacement searches initiated by watchers whose
+	// watched pair went silent (the beacon-timeout path of Section 3.2.5).
 	MonitorRescues int64
+	// EvidenceRescues counts replacement searches initiated by watchers on
+	// the evidence channel: beacons kept arriving but a customer complaint
+	// proved no work was served — the path that unmasks Byzantine
+	// casualties, which never go silent.
+	EvidenceRescues int64
+	// ReplaceLatencySum / ReplaceLatencyCount measure replacement latency:
+	// for every pair whose service lapsed (an arrival went unserved) and
+	// was later restored by a Phase II move, the number of arrivals from
+	// the first lost job through the restoring arrival, inclusive. Proactive
+	// replacements (recruited before any job was lost) contribute nothing.
+	ReplaceLatencySum   int64
+	ReplaceLatencyCount int64
+}
+
+// MeanReplaceLatency returns the average arrivals-to-restore over lapsed
+// pairs (0 when no lapse was ever repaired).
+func (r *Result) MeanReplaceLatency() float64 {
+	if r.ReplaceLatencyCount == 0 {
+		return 0
+	}
+	return float64(r.ReplaceLatencySum) / float64(r.ReplaceLatencyCount)
 }
 
 // OK reports whether every job was served.
@@ -121,15 +166,27 @@ type Runner struct {
 	// inject to (the order is part of the deterministic schedule).
 	allNodes []sim.NodeID
 
-	served         int64
-	failures       []Failure
-	maxEnergy      float64
-	replacements   int64
-	searches       int64
-	searchFailures int64
-	monitorRescues int64
-	fatal          error
-	currentArrival int
+	// gossip selects the live Phase I engine for the episode; evidence
+	// enables the customer-complaint channel (set iff the failure model has
+	// Byzantine cells, so legacy episodes inject nothing new).
+	gossip   bool
+	evidence bool
+	// pairDownAt tracks replacement latency: the arrival index at which a
+	// pair first lost a job (-1 while healthy), settled by noteRestored.
+	pairDownAt []int
+
+	served              int64
+	failures            []Failure
+	maxEnergy           float64
+	replacements        int64
+	searches            int64
+	searchFailures      int64
+	monitorRescues      int64
+	evidenceRescues     int64
+	replaceLatencySum   int64
+	replaceLatencyCount int64
+	fatal               error
+	currentArrival      int
 	// consumed latches after Run starts: the arrival cursor, counters, and
 	// vehicle states are spent, so a second Run without Reset would silently
 	// continue from mid-episode state. Reset re-arms the runner.
@@ -191,6 +248,14 @@ func NewRunner(opts Options) (*Runner, error) {
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = defaultMaxSteps
 	}
+	// Normalize and validate the failure, fleet, and search knobs before
+	// building anything: unknown cells, bad multipliers, and malformed
+	// fanouts are rejected here, matching the unknown-cell error
+	// DeadBeforeArrival surfaces when its event fires.
+	model, err := opts.validateExtensions(opts.Arena)
+	if err != nil {
+		return nil, err
+	}
 	r := &Runner{
 		opts:           opts,
 		part:           part,
@@ -198,10 +263,13 @@ func NewRunner(opts Options) (*Runner, error) {
 		vehicles:       make([]*vehicle, opts.Arena.Len()),
 		pairActive:     make([]sim.NodeID, len(part.Pairs())),
 		pendingReplace: make([]bool, len(part.Pairs())),
+		pairDownAt:     make([]int, len(part.Pairs())),
+		gossip:         opts.Search == SearchGossip,
+		evidence:       len(model.Byzantine) > 0,
 	}
 	// Densify the failure-injection maps once at the public boundary; the
 	// simulation itself never hashes a point again.
-	r.deadEvents = densifyDeadEvents(opts.Arena, opts.DeadBeforeArrival)
+	r.deadEvents = densifyDeadEvents(opts.Arena, model.DeadBeforeArrival)
 	for idx := int64(0); idx < opts.Arena.Len(); idx++ {
 		cell := opts.Arena.PointAt(idx)
 		id := sim.NodeID(idx)
@@ -210,14 +278,11 @@ func NewRunner(opts Options) (*Runner, error) {
 			return nil, fmt.Errorf("online: cell %v not covered by partition", cell)
 		}
 		longevity := 1.0
-		if p, ok := opts.Longevity[cell]; ok {
-			if p < 0 || p > 1 {
-				return nil, fmt.Errorf("online: longevity %v at %v outside [0,1]", p, cell)
-			}
+		if p, ok := model.Longevity[cell]; ok {
 			longevity = p
 		}
 		// Resolve the communication neighborhood to node ids once; the
-		// diffusion engine floods this exact slice on every Phase I search.
+		// search engines flood this exact slice on every Phase I search.
 		nidx := part.CommNeighborIndices(idx)
 		neighbors := make([]sim.NodeID, len(nidx))
 		for i, ni := range nidx {
@@ -227,29 +292,53 @@ func NewRunner(opts Options) (*Runner, error) {
 			r:            r,
 			id:           id,
 			home:         cell,
-			failInitiate: opts.FailInitiate[cell],
+			failInitiate: model.FailInitiate[cell],
 			longevity:    longevity,
+			byzantine:    model.Byzantine[cell],
 			neighbors:    neighbors,
 		}
-		eng, err := diffuse.New(diffuse.Config{
-			Neighbors: func() []sim.NodeID { return v.neighbors },
-			IsCandidate: func() bool {
-				return v.state == Idle && v.untilBreak() >= serveCost
-			},
+		v.applyClass(opts.Fleet, part)
+		isCandidate := func() bool {
+			return v.state == Idle && v.untilBreak() >= v.reserveCost()
+		}
+		onPayload := func(ctx sim.Sender, a, b uint32) {
+			v.onMoveOrder(ctx, moveOrder{
+				Dest:   opts.Arena.PointAt(int64(a)),
+				PairID: int(b),
+			})
+		}
+		ds, err := diffuse.New(diffuse.Config{
+			Neighbors:   func() []sim.NodeID { return v.neighbors },
+			IsCandidate: isCandidate,
 			OnComplete: func(ctx sim.Sender, seq int, found bool) {
 				v.onSearchComplete(ctx, seq, found)
 			},
 			OnPayload: func(ctx sim.Sender, payload diffuse.Payload) {
-				v.onMoveOrder(ctx, moveOrder{
-					Dest:   opts.Arena.PointAt(int64(payload.A)),
-					PairID: int(payload.B),
-				})
+				onPayload(ctx, payload.A, payload.B)
 			},
 		})
 		if err != nil {
 			return nil, err
 		}
-		v.eng = eng
+		// Both Phase I engines are built up front (two small structs per
+		// vehicle) so a pooled runner can flip protocols per episode without
+		// reconstruction; only the selected one ever sees traffic.
+		gs, err := gossip.New(gossip.Config{
+			Neighbors:   func() []sim.NodeID { return v.neighbors },
+			IsCandidate: isCandidate,
+			Fanout:      func() int { return r.opts.GossipFanout },
+			OnComplete: func(ctx sim.Sender, seq int, found bool) {
+				v.onSearchComplete(ctx, seq, found)
+			},
+			OnPayload: func(ctx sim.Sender, payload gossip.Payload) {
+				onPayload(ctx, payload.A, payload.B)
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		v.ds = ds
+		v.gs = gs
 		r.vehicles[id] = v
 		if err := r.net.Add(id, v); err != nil {
 			return nil, err
@@ -283,7 +372,9 @@ func (r *Runner) restoreInitialState() {
 		// one a fresh vehicle starts with, and keeping the buckets makes
 		// warm monitored episodes allocation-free.
 		clear(v.heard)
-		v.eng.Reset()
+		clear(v.complaints)
+		v.ds.Reset()
+		v.gs.Reset()
 	}
 	// Activate the service vertex of every pair; fall back to the white
 	// partner when the black vertex's vehicle is broken from the start.
@@ -300,6 +391,9 @@ func (r *Runner) restoreInitialState() {
 		r.pairActive[i] = id
 		r.pendingReplace[i] = false
 	}
+	for i := range r.pairDownAt {
+		r.pairDownAt[i] = -1
+	}
 	r.nextDead = 0
 	r.served = 0
 	// Start a fresh failure list rather than truncating: the previous run's
@@ -310,9 +404,25 @@ func (r *Runner) restoreInitialState() {
 	r.searches = 0
 	r.searchFailures = 0
 	r.monitorRescues = 0
+	r.evidenceRescues = 0
+	r.replaceLatencySum = 0
+	r.replaceLatencyCount = 0
 	r.fatal = nil
 	r.currentArrival = 0
 	r.consumed = false
+}
+
+// noteRestored settles the replacement-latency clock for a pair a Phase II
+// move just restored: if any arrival was lost while the pair was down, the
+// lapse length (first lost arrival through the current one, inclusive) is
+// added to the latency accumulators.
+func (r *Runner) noteRestored(pairID int) {
+	if r.pairDownAt[pairID] < 0 {
+		return
+	}
+	r.replaceLatencySum += int64(r.currentArrival - r.pairDownAt[pairID] + 1)
+	r.replaceLatencyCount++
+	r.pairDownAt[pairID] = -1
 }
 
 // Reset re-arms a consumed runner for another episode at the given capacity
@@ -358,25 +468,30 @@ func (r *Runner) ResetEpisode(opts Options) error {
 		return fmt.Errorf("online: capacity %v must be positive", opts.Capacity)
 	}
 	// Validate before mutating anything, so a rejected episode cannot leave
-	// the runner half-updated.
-	for _, v := range r.vehicles {
-		if p, ok := opts.Longevity[v.home]; ok && (p < 0 || p > 1) {
-			return fmt.Errorf("online: longevity %v at %v outside [0,1]", p, v.home)
-		}
+	// the runner half-updated — the same construction-time checks NewRunner
+	// runs, covering the failure model, fleet, and search knobs.
+	model, err := opts.validateExtensions(opts.Arena)
+	if err != nil {
+		return err
 	}
 	if opts.MaxSteps == 0 {
 		opts.MaxSteps = defaultMaxSteps
 	}
-	// Re-densify the failure injections exactly as NewRunner does.
+	// Re-densify the failure injections and fleet classes exactly as
+	// NewRunner does.
 	for _, v := range r.vehicles {
 		longevity := 1.0
-		if p, ok := opts.Longevity[v.home]; ok {
+		if p, ok := model.Longevity[v.home]; ok {
 			longevity = p
 		}
 		v.longevity = longevity
-		v.failInitiate = opts.FailInitiate[v.home]
+		v.failInitiate = model.FailInitiate[v.home]
+		v.byzantine = model.Byzantine[v.home]
+		v.applyClass(opts.Fleet, r.part)
 	}
-	r.deadEvents = densifyDeadEvents(opts.Arena, opts.DeadBeforeArrival)
+	r.deadEvents = densifyDeadEvents(opts.Arena, model.DeadBeforeArrival)
+	r.gossip = opts.Search == SearchGossip
+	r.evidence = len(model.Byzantine) > 0
 	// Geometry is interchangeable by construction (a Partition is a
 	// deterministic function of arena and cube side), so keep the runner's
 	// own — the per-vehicle neighbor lists already point into it.
@@ -447,10 +562,33 @@ func (r *Runner) Run(seq *demand.Sequence) (*Result, error) {
 		if !ok {
 			return nil, fmt.Errorf("online: arrival %v outside arena", pos)
 		}
+		servedBefore := r.served
 		r.net.Inject(r.pairActive[pairID],
 			sim.Msg{Kind: msgServeJob, A: uint32(r.opts.Arena.Index(pos))})
 		if err := r.quiesce(); err != nil {
 			return nil, err
+		}
+		// Replacement-latency clock: a lost arrival opens a lapse on its
+		// pair; a served one closes any lapse that healed without a
+		// counted replacement (noteRestored settles the replaced ones).
+		if r.served > servedBefore {
+			r.pairDownAt[pairID] = -1
+		} else {
+			if r.pairDownAt[pairID] < 0 {
+				r.pairDownAt[pairID] = i
+			}
+			if r.evidence && r.opts.Monitoring {
+				// The customer complaint channel: the job's customer was
+				// physically present and observed non-service, which a
+				// Byzantine casualty cannot counterfeit away. The complaint
+				// reaches the pair's watcher alongside the heartbeat wave
+				// and is acted on in the check round — evidence of absent
+				// served work, regardless of beacon presence. Gated on the
+				// Byzantine model so every legacy episode's message
+				// schedule stays bit-identical.
+				watcher := r.pairActive[r.part.WatcherPair(pairID)]
+				r.net.Inject(watcher, sim.Msg{Kind: msgEvidence, A: uint32(pairID)})
+			}
 		}
 		if r.opts.Monitoring {
 			if err := r.monitorRound(); err != nil {
@@ -462,14 +600,17 @@ func (r *Runner) Run(seq *demand.Sequence) (*Result, error) {
 		}
 	}
 	return &Result{
-		Served:         r.served,
-		Failures:       r.failures,
-		MaxEnergy:      r.maxEnergy,
-		Messages:       r.net.Delivered(),
-		Replacements:   r.replacements,
-		Searches:       r.searches,
-		SearchFailures: r.searchFailures,
-		MonitorRescues: r.monitorRescues,
+		Served:              r.served,
+		Failures:            r.failures,
+		MaxEnergy:           r.maxEnergy,
+		Messages:            r.net.Delivered(),
+		Replacements:        r.replacements,
+		Searches:            r.searches,
+		SearchFailures:      r.searchFailures,
+		MonitorRescues:      r.monitorRescues,
+		EvidenceRescues:     r.evidenceRescues,
+		ReplaceLatencySum:   r.replaceLatencySum,
+		ReplaceLatencyCount: r.replaceLatencyCount,
 	}, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/diffuse"
+	"repro/internal/gossip"
 	"repro/internal/grid"
 	"repro/internal/sim"
 )
@@ -38,7 +39,8 @@ func (s WorkState) String() string {
 }
 
 // Message kinds owned by the online layer (range 16..31 of the sim.Msg kind
-// space; 1..15 belongs to package diffuse). Operand layout per kind:
+// space; 1..7 belongs to package diffuse, 8..15 to package gossip). Operand
+// layout per kind:
 //
 //	msgServeJob       — A: arena index of the job position (the vehicle
 //	                    decodes it through Arena.PointAt)
@@ -48,23 +50,33 @@ func (s WorkState) String() string {
 //	                    that pair's active vehicle to its watcher
 //	msgCheckRound     — no operands; tells a watcher to act on heartbeats
 //	                    missed this round
+//	msgEvidence       — A: pair id; the customer complaint that the pair's
+//	                    last job went unserved, delivered to the pair's
+//	                    watcher. Unlike the forgeable Existing beacon this is
+//	                    evidence of *absent served work*, which a Byzantine
+//	                    casualty cannot counterfeit — the watcher rescues on
+//	                    it even while beacons keep arriving.
 const (
 	msgServeJob uint8 = iota + 16
 	msgHeartbeatRound
 	msgExisting
 	msgCheckRound
+	msgEvidence
 )
 
 // moveOrder is the decoded Phase II payload: relocate to Dest and take over
-// service of pair PairID. On the wire it is a diffuse.Payload whose A word
-// is Dest's arena index and whose B word is PairID.
+// service of pair PairID. On the wire it is a diffuse.Payload (or
+// gossip.Payload) whose A word is Dest's arena index and whose B word is
+// PairID.
 type moveOrder struct {
 	Dest   grid.Point
 	PairID int
 }
 
-// serveCost is the worst-case energy to process one job: walk at most
-// distance 1 to the partner vertex plus 1 unit of service (Section 3.2.2).
+// serveCost is the worst-case energy for a *uniform* vehicle to process one
+// job: walk at most distance 1 to the partner vertex plus 1 unit of service
+// (Section 3.2.2). Classed vehicles use reserveCost, which reduces to this
+// constant at the default multipliers.
 const serveCost = 2.0
 
 // vehicle is one depot's vehicle: a sim.Process whose node id equals its
@@ -80,10 +92,14 @@ type vehicle struct {
 	used   float64
 	pairID int // pair currently served (valid when Active) or home pair
 
-	eng *diffuse.Engine
+	// ds and gs are the two Phase I engines; Runner.gossip selects which one
+	// is live for the episode (both are reset between episodes, so a pooled
+	// runner can flip protocols per ResetEpisode).
+	ds *diffuse.Engine
+	gs *gossip.Engine
 	// neighbors is the communication neighborhood resolved to node ids once
-	// at construction (cell arena index = node id); the diffusion engine
-	// reads it on every flood without re-deriving cell identity.
+	// at construction (cell arena index = node id); the search engines read
+	// it on every flood without re-deriving cell identity.
 	neighbors []sim.NodeID
 
 	// failInitiate simulates Section 3.2.5 scenario 2: on exhaustion the
@@ -92,6 +108,15 @@ type vehicle struct {
 	// longevity is the Chapter 4 breakdown fraction p_i: the vehicle dies
 	// once used >= longevity * capacity. 1 means it never breaks.
 	longevity float64
+	// byzantine marks the FailureModel's lying casualties: once dead, the
+	// vehicle keeps emitting Existing beacons as if it were healthy.
+	byzantine bool
+	// stepCost / jobCost / capMult are the densified VehicleClass
+	// multipliers (all exactly 1.0 for the uniform fleet, which keeps the
+	// classed arithmetic bit-identical to the historical constants).
+	stepCost float64
+	jobCost  float64
+	capMult  float64
 	// searchPair is the pair the in-flight search is recruiting for (the
 	// vehicle may initiate on behalf of a watched pair, not only its own);
 	// searchDest is where the recruit will be sent.
@@ -99,12 +124,46 @@ type vehicle struct {
 	searchDest grid.Point
 
 	heard map[int]bool // watcher state: pairs heard from this round
+	// complaints is the watcher's evidence ledger: pairs accused by a
+	// customer complaint (msgEvidence) this round. Beacon presence clears
+	// nothing here — evidence outranks beacons.
+	complaints map[int]bool
 }
 
 var _ sim.Process = (*vehicle)(nil)
 
+// applyClass densifies the vehicle's fleet class into flat multipliers (the
+// defaults when no fleet is configured). Called by NewRunner and
+// ResetEpisode; the values are episode constants, so restoreInitialState
+// leaves them alone.
+func (v *vehicle) applyClass(f *Fleet, part *Partition) {
+	v.stepCost, v.jobCost, v.capMult = 1, 1, 1
+	if f == nil {
+		return
+	}
+	c := f.classAt(part, v.home, part.PairAt(int64(v.id)))
+	v.stepCost = c.stepCost()
+	v.jobCost = c.jobCost()
+	v.capMult = c.capMult()
+}
+
+// capacity is this vehicle's energy budget: the episode capacity scaled by
+// its class multiplier.
+func (v *vehicle) capacity() float64 { return v.r.opts.Capacity * v.capMult }
+
+// reserveCost is the worst-case energy this vehicle needs for one more job:
+// one lattice step plus one service at its class rates (= serveCost for the
+// uniform fleet).
+func (v *vehicle) reserveCost() float64 { return v.stepCost + v.jobCost }
+
 func (v *vehicle) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
-	if v.eng.Handle(ctx, from, msg) {
+	// Exactly one Phase I engine is live per episode, so only its kinds can
+	// be in flight — route to it alone.
+	if v.r.gossip {
+		if v.gs.Handle(ctx, from, msg) {
+			return
+		}
+	} else if v.ds.Handle(ctx, from, msg) {
 		return
 	}
 	switch msg.Kind {
@@ -119,6 +178,11 @@ func (v *vehicle) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
 		v.heard[int(msg.A)] = true
 	case msgCheckRound:
 		v.onCheck(ctx)
+	case msgEvidence:
+		if v.complaints == nil {
+			v.complaints = make(map[int]bool)
+		}
+		v.complaints[int(msg.A)] = true
 	default:
 		v.r.failf("vehicle %v: unexpected message kind %d", v.home, msg.Kind)
 	}
@@ -131,9 +195,9 @@ func (v *vehicle) onServe(ctx *sim.Context, pos grid.Point) {
 		v.r.recordFailure(pos, fmt.Sprintf("vehicle %v in state %v", v.home, v.state))
 		return
 	}
-	walk := float64(grid.Manhattan(v.pos, pos))
-	cost := walk + 1
-	if v.used+cost > v.r.opts.Capacity {
+	walk := float64(grid.Manhattan(v.pos, pos)) * v.stepCost
+	cost := walk + v.jobCost
+	if v.used+cost > v.capacity() {
 		v.r.recordFailure(pos, fmt.Sprintf("vehicle %v out of energy (%.1f used)", v.home, v.used))
 		return
 	}
@@ -151,24 +215,24 @@ func (v *vehicle) onServe(ctx *sim.Context, pos grid.Point) {
 			fmt.Sprintf("longevity %.2f hit", v.longevity))
 		return
 	}
-	// Exhaustion check: if the next job (worst case cost 2) cannot be
-	// served, the vehicle is done and must recruit a replacement now.
-	if v.r.opts.Capacity-v.used < serveCost {
+	// Exhaustion check: if the next job (worst case cost reserveCost) cannot
+	// be served, the vehicle is done and must recruit a replacement now.
+	if v.capacity()-v.used < v.reserveCost() {
 		v.becomeDone(ctx)
 	}
 }
 
 // breaksNow reports whether the Chapter 4 longevity threshold has been hit.
 func (v *vehicle) breaksNow() bool {
-	return v.longevity < 1 && v.used >= v.longevity*v.r.opts.Capacity-1e-9
+	return v.longevity < 1 && v.used >= v.longevity*v.capacity()-1e-9
 }
 
 // untilBreak returns the energy this vehicle can still spend before its
-// longevity threshold (capacity when it never breaks).
+// longevity threshold (its full budget when it never breaks).
 func (v *vehicle) untilBreak() float64 {
-	limit := v.r.opts.Capacity
+	limit := v.capacity()
 	if v.longevity < 1 {
-		limit = v.longevity * v.r.opts.Capacity
+		limit = v.longevity * v.capacity()
 	}
 	return limit - v.used
 }
@@ -194,7 +258,11 @@ func (v *vehicle) startReplacementSearch(ctx sim.Sender, pairID int, dest grid.P
 	v.searchDest = dest
 	v.r.emit(EventSearch, v.home, dest, v.used,
 		fmt.Sprintf("for pair %d", pairID))
-	v.eng.StartSearch(ctx)
+	if v.r.gossip {
+		v.gs.StartSearch(ctx)
+	} else {
+		v.ds.StartSearch(ctx)
+	}
 }
 
 func (v *vehicle) onSearchComplete(ctx sim.Sender, seq int, found bool) {
@@ -206,11 +274,14 @@ func (v *vehicle) onSearchComplete(ctx sim.Sender, seq int, found bool) {
 			fmt.Sprintf("for pair %d", pairID))
 		return
 	}
-	payload := diffuse.Payload{
-		A: uint32(v.r.opts.Arena.Index(v.searchDest)),
-		B: uint32(pairID),
+	destIdx := uint32(v.r.opts.Arena.Index(v.searchDest))
+	var err error
+	if v.r.gossip {
+		err = v.gs.ForwardPayload(ctx, seq, gossip.Payload{A: destIdx, B: uint32(pairID)})
+	} else {
+		err = v.ds.ForwardPayload(ctx, seq, diffuse.Payload{A: destIdx, B: uint32(pairID)})
 	}
-	if err := v.eng.ForwardPayload(ctx, seq, payload); err != nil {
+	if err != nil {
 		v.r.failf("vehicle %v: forward payload: %v", v.home, err)
 	}
 }
@@ -222,8 +293,8 @@ func (v *vehicle) onMoveOrder(ctx sim.Sender, order moveOrder) {
 		v.r.failf("vehicle %v: move order while %v", v.home, v.state)
 		return
 	}
-	walk := float64(grid.Manhattan(v.pos, order.Dest))
-	if v.used+walk > v.r.opts.Capacity {
+	walk := float64(grid.Manhattan(v.pos, order.Dest)) * v.stepCost
+	if v.used+walk > v.capacity() {
 		v.r.recordFailure(order.Dest,
 			fmt.Sprintf("recruit %v cannot afford move of %v", v.home, walk))
 		v.r.pendingReplace[order.PairID] = false
@@ -237,6 +308,7 @@ func (v *vehicle) onMoveOrder(ctx sim.Sender, order moveOrder) {
 	v.r.pairActive[order.PairID] = v.id
 	v.r.pendingReplace[order.PairID] = false
 	v.r.replacements++
+	v.r.noteRestored(order.PairID)
 	v.r.emit(EventMove, v.home, order.Dest, v.used,
 		fmt.Sprintf("takes over pair %d", order.PairID))
 	if v.breaksNow() {
@@ -247,7 +319,7 @@ func (v *vehicle) onMoveOrder(ctx sim.Sender, order moveOrder) {
 	}
 	// If the move itself nearly drained the recruit, chain a further
 	// replacement immediately.
-	if v.r.opts.Capacity-v.used < serveCost {
+	if v.capacity()-v.used < v.reserveCost() {
 		v.state = Done
 		if !v.failInitiate {
 			v.startReplacementSearch(ctx, v.pairID, v.pos)
@@ -256,9 +328,13 @@ func (v *vehicle) onMoveOrder(ctx sim.Sender, order moveOrder) {
 }
 
 // onHeartbeat emits the Existing beacon if this vehicle is the live active
-// server of its pair (Section 3.2.5).
+// server of its pair (Section 3.2.5) — or a Byzantine casualty still
+// registered for its pair, which beacons exactly as if it were healthy.
+// Once a rescue installs a replacement the liar stops matching
+// pairActive and falls silent, so the lie cannot outlive its unmasking.
 func (v *vehicle) onHeartbeat(ctx *sim.Context) {
-	if v.state != Active || v.r.pairActive[v.pairID] != v.id {
+	lying := v.byzantine && v.state == Dead
+	if (v.state != Active && !lying) || v.r.pairActive[v.pairID] != v.id {
 		return
 	}
 	watcherPair := v.r.part.WatcherPair(v.pairID)
@@ -269,30 +345,43 @@ func (v *vehicle) onHeartbeat(ctx *sim.Context) {
 	ctx.Send(watcher, sim.Msg{Kind: msgExisting, A: uint32(v.pairID)})
 }
 
-// onCheck inspects the heartbeats gathered since the last round and starts
-// replacement searches for watched pairs that went silent.
+// onCheck inspects the heartbeats and evidence gathered since the last round
+// and starts replacement searches for watched pairs that are provably in
+// trouble: silent pairs (the beacon timeout of Section 3.2.5) and pairs
+// whose beacons kept arriving while a customer complaint proves no work was
+// served — the Byzantine case, where beacon presence alone would let a
+// lying casualty hold its pair hostage forever.
 func (v *vehicle) onCheck(ctx *sim.Context) {
 	if v.state != Active || v.r.pairActive[v.pairID] != v.id {
 		clear(v.heard)
+		clear(v.complaints)
 		return
 	}
-	// Which pair does this vehicle watch? The ring is "pair i watches pair
-	// next(i)" — invert by scanning this cube's pairs.
-	for _, watched := range v.r.part.CubePairs(v.r.part.Pairs()[v.pairID].Cube) {
-		if v.r.part.WatcherPair(watched) != v.pairID || watched == v.pairID {
-			continue
+	// The ring is "pair i is watched by pair next(i)": the partition's
+	// precomputed inverse gives this watcher's single watched pair directly
+	// (a one-pair cube watches itself; nothing to do).
+	if watched := v.r.part.WatchedPair(v.pairID); watched != v.pairID &&
+		!v.r.pendingReplace[watched] {
+		switch {
+		case !v.heard[watched]:
+			// Watched pair went silent: recruit a replacement on its behalf,
+			// directed at the pair's canonical service position.
+			v.r.monitorRescues++
+			v.r.emit(EventRescue, v.home, v.r.part.Pairs()[watched].ServicePos(), v.used,
+				fmt.Sprintf("pair %d went silent", watched))
+			v.startReplacementSearch(ctx, watched, v.r.part.Pairs()[watched].ServicePos())
+		case v.complaints[watched]:
+			// Beacons kept arriving but a job went unserved: evidence beats
+			// the (possibly forged) beacon.
+			v.r.evidenceRescues++
+			v.r.emit(EventRescue, v.home, v.r.part.Pairs()[watched].ServicePos(), v.used,
+				fmt.Sprintf("pair %d beaconed but served nothing", watched))
+			v.startReplacementSearch(ctx, watched, v.r.part.Pairs()[watched].ServicePos())
 		}
-		if v.heard[watched] || v.r.pendingReplace[watched] {
-			continue
-		}
-		// Watched pair went silent: recruit a replacement on its behalf,
-		// directed at the pair's canonical service position.
-		v.r.monitorRescues++
-		v.r.emit(EventRescue, v.home, v.r.part.Pairs()[watched].ServicePos(), v.used,
-			fmt.Sprintf("pair %d went silent", watched))
-		v.startReplacementSearch(ctx, watched, v.r.part.Pairs()[watched].ServicePos())
 	}
-	// Clear rather than drop the map: the watcher re-fills it every round,
-	// so reusing the buckets makes steady-state monitoring allocation-free.
+	// Clear rather than drop the maps: the watcher re-fills them every
+	// round, so reusing the buckets keeps steady-state monitoring
+	// allocation-free.
 	clear(v.heard)
+	clear(v.complaints)
 }
