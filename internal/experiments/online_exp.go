@@ -19,7 +19,8 @@ const e7SearchWorkers = 4
 // E7Online measures the empirical Won (smallest capacity at which the
 // Chapter 3 strategy serves everything) against omega_c and the Theorem
 // 1.4.2 guarantee (4*3^l+l)*omega_c, plus the greedy dispatcher baseline.
-func E7Online(n int, jobs int64, seed int64, workers int) (*Table, error) {
+// shards selects the simulator scheduler (online.Options.SimShards).
+func E7Online(n int, jobs int64, seed int64, workers, shards int) (*Table, error) {
 	t := &Table{
 		ID:    "E7",
 		Title: fmt.Sprintf("online vs offline capacity (n=%d, %d jobs)", n, jobs),
@@ -60,7 +61,7 @@ func E7Online(n int, jobs int64, seed int64, workers int) (*Table, error) {
 			}
 			won, err := online.MinCapacityParallel(seq, online.Options{
 				Arena: arena, CubeSide: char.Side, Partition: part, Seed: seed,
-				SearchWorkers: e7SearchWorkers,
+				SearchWorkers: e7SearchWorkers, SimShards: shards,
 			}, 1, 0.05)
 			if err != nil {
 				return row{}, err
@@ -85,7 +86,7 @@ func E7Online(n int, jobs int64, seed int64, workers int) (*Table, error) {
 // cube side grows: a single hot point forces a stream of replacements, and
 // the per-replacement message count scales with the cube's communication
 // graph, not with total jobs (Section 3.2.3's locality).
-func E8Diffusion(cubeSides []int, seed int64) (*Table, error) {
+func E8Diffusion(cubeSides []int, seed int64, shards int) (*Table, error) {
 	t := &Table{
 		ID:    "E8",
 		Title: "diffusing computation cost per replacement (Algorithm 2)",
@@ -98,6 +99,7 @@ func E8Diffusion(cubeSides []int, seed int64) (*Table, error) {
 		capacity := float64(4*s + 4)
 		r, err := online.NewRunner(online.Options{
 			Arena: arena, CubeSide: s, Capacity: capacity, Seed: seed,
+			SimShards: shards,
 		})
 		if err != nil {
 			return nil, err

@@ -92,6 +92,13 @@ type vehicle struct {
 	used   float64
 	pairID int // pair currently served (valid when Active) or home pair
 
+	// t is the shard tally every counter/failure mutation of the current
+	// delivery goes to, resolved from the executing shard at OnMessage
+	// entry (tally 0, always, under the legacy scheduler). Callbacks the
+	// Phase I engines invoke run synchronously inside OnMessage, so the
+	// pointer is valid wherever vehicle code runs.
+	t *shardTally
+
 	// ds and gs are the two Phase I engines; Runner.gossip selects which one
 	// is live for the episode (both are reset between episodes, so a pooled
 	// runner can flip protocols per ResetEpisode).
@@ -157,6 +164,7 @@ func (v *vehicle) capacity() float64 { return v.r.opts.Capacity * v.capMult }
 func (v *vehicle) reserveCost() float64 { return v.stepCost + v.jobCost }
 
 func (v *vehicle) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
+	v.t = &v.r.tallies[ctx.Shard()]
 	// Exactly one Phase I engine is live per episode, so only its kinds can
 	// be in flight — route to it alone.
 	if v.r.gossip {
@@ -184,7 +192,7 @@ func (v *vehicle) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
 		}
 		v.complaints[int(msg.A)] = true
 	default:
-		v.r.failf("vehicle %v: unexpected message kind %d", v.home, msg.Kind)
+		v.r.failf(v.t, "vehicle %v: unexpected message kind %d", v.home, msg.Kind)
 	}
 }
 
@@ -192,19 +200,19 @@ func (v *vehicle) OnMessage(ctx *sim.Context, from sim.NodeID, msg sim.Msg) {
 // pair, so at distance at most 1 from its position).
 func (v *vehicle) onServe(ctx *sim.Context, pos grid.Point) {
 	if v.state != Active {
-		v.r.recordFailure(pos, fmt.Sprintf("vehicle %v in state %v", v.home, v.state))
+		v.r.recordFailure(v.t, pos, fmt.Sprintf("vehicle %v in state %v", v.home, v.state))
 		return
 	}
 	walk := float64(grid.Manhattan(v.pos, pos)) * v.stepCost
 	cost := walk + v.jobCost
 	if v.used+cost > v.capacity() {
-		v.r.recordFailure(pos, fmt.Sprintf("vehicle %v out of energy (%.1f used)", v.home, v.used))
+		v.r.recordFailure(v.t, pos, fmt.Sprintf("vehicle %v out of energy (%.1f used)", v.home, v.used))
 		return
 	}
 	v.used += cost
 	v.pos = pos
-	v.r.served++
-	v.r.noteEnergy(v.used)
+	v.t.served++
+	v.t.noteEnergy(v.used)
 	v.r.emit(EventServe, v.home, pos, v.used, "")
 	// Chapter 4 breakdown: the vehicle dies the moment a fraction p of its
 	// capacity is spent. A dead vehicle cannot initiate its own
@@ -254,7 +262,7 @@ func (v *vehicle) startReplacementSearch(ctx sim.Sender, pairID int, dest grid.P
 	}
 	v.r.pendingReplace[pairID] = true
 	v.searchPair = pairID
-	v.r.searches++
+	v.t.searches++
 	v.searchDest = dest
 	v.r.emit(EventSearch, v.home, dest, v.used,
 		fmt.Sprintf("for pair %d", pairID))
@@ -269,7 +277,7 @@ func (v *vehicle) onSearchComplete(ctx sim.Sender, seq int, found bool) {
 	pairID := v.searchPair
 	if !found {
 		v.r.pendingReplace[pairID] = false
-		v.r.searchFailures++
+		v.t.searchFailures++
 		v.r.emit(EventSearchFail, v.home, v.searchDest, v.used,
 			fmt.Sprintf("for pair %d", pairID))
 		return
@@ -282,7 +290,7 @@ func (v *vehicle) onSearchComplete(ctx sim.Sender, seq int, found bool) {
 		err = v.ds.ForwardPayload(ctx, seq, diffuse.Payload{A: destIdx, B: uint32(pairID)})
 	}
 	if err != nil {
-		v.r.failf("vehicle %v: forward payload: %v", v.home, err)
+		v.r.failf(v.t, "vehicle %v: forward payload: %v", v.home, err)
 	}
 }
 
@@ -290,25 +298,25 @@ func (v *vehicle) onMoveOrder(ctx sim.Sender, order moveOrder) {
 	if v.state != Idle {
 		// The protocol guarantees candidates are idle at recruitment time;
 		// a double recruit would be a bug, surface it.
-		v.r.failf("vehicle %v: move order while %v", v.home, v.state)
+		v.r.failf(v.t, "vehicle %v: move order while %v", v.home, v.state)
 		return
 	}
 	walk := float64(grid.Manhattan(v.pos, order.Dest)) * v.stepCost
 	if v.used+walk > v.capacity() {
-		v.r.recordFailure(order.Dest,
+		v.r.recordFailure(v.t, order.Dest,
 			fmt.Sprintf("recruit %v cannot afford move of %v", v.home, walk))
 		v.r.pendingReplace[order.PairID] = false
 		return
 	}
 	v.used += walk
-	v.r.noteEnergy(v.used)
+	v.t.noteEnergy(v.used)
 	v.pos = order.Dest
 	v.state = Active
 	v.pairID = order.PairID
 	v.r.pairActive[order.PairID] = v.id
 	v.r.pendingReplace[order.PairID] = false
-	v.r.replacements++
-	v.r.noteRestored(order.PairID)
+	v.t.replacements++
+	v.r.noteRestored(v.t, order.PairID)
 	v.r.emit(EventMove, v.home, order.Dest, v.used,
 		fmt.Sprintf("takes over pair %d", order.PairID))
 	if v.breaksNow() {
@@ -366,14 +374,14 @@ func (v *vehicle) onCheck(ctx *sim.Context) {
 		case !v.heard[watched]:
 			// Watched pair went silent: recruit a replacement on its behalf,
 			// directed at the pair's canonical service position.
-			v.r.monitorRescues++
+			v.t.monitorRescues++
 			v.r.emit(EventRescue, v.home, v.r.part.Pairs()[watched].ServicePos(), v.used,
 				fmt.Sprintf("pair %d went silent", watched))
 			v.startReplacementSearch(ctx, watched, v.r.part.Pairs()[watched].ServicePos())
 		case v.complaints[watched]:
 			// Beacons kept arriving but a job went unserved: evidence beats
 			// the (possibly forged) beacon.
-			v.r.evidenceRescues++
+			v.t.evidenceRescues++
 			v.r.emit(EventRescue, v.home, v.r.part.Pairs()[watched].ServicePos(), v.used,
 				fmt.Sprintf("pair %d beaconed but served nothing", watched))
 			v.startReplacementSearch(ctx, watched, v.r.part.Pairs()[watched].ServicePos())

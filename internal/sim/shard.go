@@ -1,0 +1,587 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+	"slices"
+	"sync"
+)
+
+// Sharded sealed-round scheduler.
+//
+// The legacy scheduler (Run in sim.go) draws one value per delivery from ONE
+// seeded stream, bounded by the live global ready-list length. That schedule
+// is inherently sequential: the bound of draw t+1 depends on what delivery
+// t's handler enqueued, so no parallel execution can reproduce it bit for
+// bit. Sharding therefore defines a SECOND deterministic schedule family
+// whose defining property is the opposite one: the schedule is a pure
+// function of (seed, topology, protocol) and is bit-for-bit identical for
+// EVERY shard count >= 1, parallel or sequential — which is what lets CI
+// diff runs at shards 1/2/4/8 and gate on byte equality.
+//
+// The construction pushes the determinism-by-ordering discipline of the
+// sweep layer down into one episode:
+//
+//   - Time advances in conservative rounds. Every message sent during round
+//     r (by a handler) is sealed at the round barrier and becomes
+//     deliverable in round r+1 — uniformly, whether or not sender and
+//     receiver share a shard, so shard boundaries cannot be observed.
+//   - The unit of scheduling is the CELL (node), not the physical shard:
+//     each cell delivers its sealed messages using its own RNG stream,
+//     derived from the episode seed and the cell id (the "shard index" of
+//     the determinism contract is the finest one — a per-physical-shard
+//     stream would make the schedule depend on the shard count). Within a
+//     cell's turn the pick discipline mirrors the legacy scheduler: a ready
+//     set of nonempty links, one draw per pick while more than one link is
+//     ready, swap-remove on drain. The ready set is ordered by sender id,
+//     never by link-table slot order, so the draw-to-link mapping cannot
+//     depend on link creation order (which DOES vary with the shard count:
+//     intra-shard links are created mid-round, cross-shard ones at the
+//     barrier).
+//   - Physical shards own contiguous arena-index stripes of cells and
+//     process them in ascending order. Cross-shard sends travel through
+//     single-writer crossbar queues drained at the barrier in shard order;
+//     because stripes are contiguous and ascending, concatenating crossbar
+//     queues in shard order IS global sender-cell order, so link creation
+//     and per-link FIFO order are shard-count-invariant without sorting.
+//   - Handlers run concurrently across shards (when parallel execution is
+//     enabled), so they may communicate only through messages and
+//     shard-confined state. Hosts that keep shared blackboards (the online
+//     layer's pair tables) buffer writes per shard and apply them in the
+//     round barrier hook (SetBarrierHook), in shard order — the same
+//     canonical merge.
+//
+// Everything delivered within one round was sealed before the round began,
+// so no handler outcome can depend on the relative execution order of two
+// cells in the same round — which is exactly why parallel and sequential
+// execution, and every stripe partition, produce identical results.
+
+// xmsg is one crossbar entry: a message in flight between shards, carrying
+// its full logical address. Appended by the sending shard during the
+// delivery phase, drained by the owning shard at the barrier.
+type xmsg struct {
+	msg      Msg
+	from, to NodeID
+}
+
+// linkRef is a stable reference to a link (the owning node and its slot in
+// that node's table): touched-link lists survive link-table reallocation,
+// which direct *linkQueue pointers would not.
+type linkRef struct {
+	to   NodeID
+	slot int32
+}
+
+// shard owns one contiguous stripe of cells: their mailboxes, ready
+// scratch, crossbar output queues, and counters. All fields are confined to
+// the shard's worker during the delivery phase and to the coordinator
+// between phases.
+type shard struct {
+	id     int32
+	lo, hi int32 // owned cell range [lo, hi)
+	net    *Network
+	ctx    Context
+
+	// active is the sorted list of owned cells holding sealed messages this
+	// round; next collects the cells that turn pending during the round (by
+	// intra-shard sends) and at the barrier (by crossbar arrivals). The two
+	// swap at the barrier. Outside Run, injections append to active
+	// directly.
+	active []NodeID
+	next   []NodeID
+	// touched lists links that received unsealed messages this round; the
+	// barrier promotes their counts to sealed.
+	touched []linkRef
+	// out[d] is the crossbar queue toward shard d (out[id] is unused:
+	// intra-shard sends push straight into the destination ring, which is
+	// owned by this shard anyway).
+	out [][]xmsg
+	// ready is the per-cell pick scratch: link slots with sealed messages,
+	// ordered by sender id.
+	ready []int32
+
+	// delivered / sent are per-round deltas, folded into the network totals
+	// at each barrier by the coordinator.
+	delivered int64
+	sent      int64
+	// bad is the first bad send latched this round (shard-local; the
+	// coordinator adopts the first one in shard order, which — cells being
+	// processed in ascending order within ascending stripes — is the first
+	// one in canonical cell order).
+	bad error
+}
+
+// shardNet is the sharded-mode extension of a Network.
+type shardNet struct {
+	shards   []shard
+	stripe   int32 // cells per stripe (last shard may own fewer)
+	parallel bool
+	hook     func()
+	// cellRNG is the per-cell stream state (splitmix64), indexed by NodeID
+	// and derived from (episode seed, cell id) at Reset.
+	cellRNG []uint64
+	// builtFor is the node-table length the stripes were computed for;
+	// registering more nodes re-stripes lazily at the next Run.
+	builtFor int
+	seed     int64
+}
+
+// ErrShardsPending is returned by SetShards when the network still holds
+// undelivered messages: the legacy and sharded engines store pending
+// traffic differently, so the mode may only change while quiescent.
+var ErrShardsPending = errors.New("sim: SetShards requires a quiescent network (pending messages exist)")
+
+// SetShards selects the scheduler. shards <= 0 restores the legacy
+// single-stream scheduler (the default). shards >= 1 switches to the
+// sealed-round sharded scheduler documented above, partitioning the cells
+// into that many contiguous stripes; results are bit-for-bit identical for
+// every shard count, so the value is purely a parallelism knob. parallel
+// enables concurrent shard execution (one worker per shard during a round);
+// sequential execution produces identical results and is forced
+// automatically when shards == 1. The network must be quiescent, and the
+// RNG state follows the CURRENT seed (pass the same seed to Reset to
+// restart the episode under the new mode).
+func (n *Network) SetShards(shards int, parallel bool) error {
+	if n.sent != n.delivered {
+		return ErrShardsPending
+	}
+	if shards <= 0 {
+		if n.sh != nil {
+			n.sh = nil
+			// Sharded Resets leave the legacy source untouched; restore the
+			// state a legacy Reset(curSeed) would have produced.
+			n.reseed(n.curSeed)
+		}
+		return nil
+	}
+	n.sh = &shardNet{parallel: parallel && shards > 1, seed: n.curSeed}
+	n.buildShards(shards)
+	return nil
+}
+
+// Shards reports the configured shard count (0 = legacy scheduler).
+func (n *Network) Shards() int {
+	if n.sh == nil {
+		return 0
+	}
+	return len(n.sh.shards)
+}
+
+// SetBarrierHook registers f to run on the coordinator goroutine at every
+// round barrier of the sharded scheduler, after all crossbar traffic has
+// been merged and before the next round begins. Hosts use it to apply
+// shard-buffered writes to shared state in canonical order. It is ignored
+// by the legacy scheduler.
+func (n *Network) SetBarrierHook(f func()) {
+	if n.sh != nil {
+		n.sh.hook = f
+	}
+}
+
+// buildShards (re)computes the stripe partition for the current node count,
+// preserving ring contents and pending flags: it derives each shard's
+// active list by scanning the nodes, so it is safe to call between Runs
+// even with sealed traffic waiting.
+func (n *Network) buildShards(count int) {
+	sn := n.sh
+	ncells := len(n.nodes)
+	stripe := 1
+	if count > 0 {
+		stripe = (ncells + count - 1) / count
+	}
+	if stripe < 1 {
+		stripe = 1
+	}
+	sn.stripe = int32(stripe)
+	if cap(sn.shards) < count {
+		sn.shards = make([]shard, count)
+	}
+	sn.shards = sn.shards[:count]
+	for i := range sn.shards {
+		s := &sn.shards[i]
+		lo := i * stripe
+		hi := min(lo+stripe, ncells)
+		if lo > ncells {
+			lo, hi = ncells, ncells
+		}
+		*s = shard{
+			id: int32(i), lo: int32(lo), hi: int32(hi), net: n,
+			active: s.active[:0], next: s.next[:0],
+			touched: s.touched[:0], ready: s.ready[:0], out: s.out,
+		}
+		s.ctx = Context{net: n, shard: s}
+		if cap(s.out) < count {
+			s.out = make([][]xmsg, count)
+		}
+		s.out = s.out[:count]
+		for d := range s.out {
+			s.out[d] = s.out[d][:0]
+		}
+	}
+	for i := range sn.shards {
+		s := &sn.shards[i]
+		for c := s.lo; c < s.hi; c++ {
+			if n.nodes[c].pend {
+				s.active = append(s.active, NodeID(c))
+			}
+		}
+	}
+	if len(sn.cellRNG) < ncells {
+		sn.cellRNG = make([]uint64, ncells)
+	}
+	// A fresh shardNet seeds every cell; a mid-life re-stripe (nodes added
+	// between Runs) seeds only the new ones — existing cells keep their
+	// stream positions, and the trigger (node-table length) is shard-count
+	// independent, so determinism across shard counts is preserved.
+	sn.seedCells(sn.builtFor, ncells)
+	sn.builtFor = ncells
+}
+
+// seedCells derives the stream state of cells [from, to) from (seed, cell
+// id): the splitmix64 finalizer over seed + (cell+1)*golden, so streams are
+// decorrelated across cells and across seeds while staying a pure function
+// of the pair — the seed-derivation half of the shard determinism contract.
+func (sn *shardNet) seedCells(from, to int) {
+	base := uint64(sn.seed)
+	for c := from; c < to; c++ {
+		sn.cellRNG[c] = mix64(base + (uint64(c)+1)*0x9E3779B97F4A7C15)
+	}
+}
+
+// mix64 is the splitmix64 output function: a bijective avalanche mix.
+func mix64(z uint64) uint64 {
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// nextCell advances one cell stream (splitmix64: golden-ratio counter plus
+// the mix). One state word per cell keeps a million-cell arena's RNG in
+// 8 MB, where mirroring the legacy 607-word lagged-Fibonacci state per cell
+// would cost 5 KB each.
+func nextCell(state *uint64) uint64 {
+	*state += 0x9E3779B97F4A7C15
+	return mix64(*state)
+}
+
+// cellIntn draws uniformly from [0, k) off one cell stream using Lemire's
+// unbiased multiply-shift (the widening multiply maps a 64-bit draw to the
+// range; the rare low-product rejection removes the bias exactly).
+func cellIntn(state *uint64, k int) int {
+	x := nextCell(state)
+	hi, lo := bits.Mul64(x, uint64(k))
+	if lo < uint64(k) {
+		t := -uint64(k) % uint64(k)
+		for lo < t {
+			x = nextCell(state)
+			hi, lo = bits.Mul64(x, uint64(k))
+		}
+	}
+	return int(hi)
+}
+
+// owner maps a cell to its stripe's shard.
+func (sn *shardNet) owner(id NodeID) *shard {
+	return &sn.shards[int(id)/int(sn.stripe)]
+}
+
+// shardReset clears all sharded-mode runtime state and re-derives the
+// per-cell streams for the new seed. Per-link sealed counts and per-node
+// pending flags are cleared by Reset's ring sweep; this handles the shard
+// structs. Storage — stripe tables, crossbar queues, scratch — is retained,
+// so a warm sharded reset allocates nothing.
+func (n *Network) shardReset(seed int64) {
+	sn := n.sh
+	for i := range sn.shards {
+		s := &sn.shards[i]
+		s.active = s.active[:0]
+		s.next = s.next[:0]
+		s.touched = s.touched[:0]
+		for d := range s.out {
+			s.out[d] = s.out[d][:0]
+		}
+		s.delivered, s.sent = 0, 0
+		s.bad = nil
+	}
+	sn.seed = seed
+	sn.seedCells(0, sn.builtFor)
+}
+
+// shardInject enqueues an external event: straight into the destination
+// ring, sealed immediately (deliverable in the first round of the next
+// Run). Injections happen on the coordinator goroutine between Runs, so
+// they may touch any shard's active list directly. Uses the same cached
+// injection slot as the legacy path, so full-arena waves skip the scan.
+func (n *Network) shardInject(to NodeID, msg Msg) {
+	if n.sh.builtFor != len(n.nodes) {
+		// Nodes registered since the last (re)build: re-stripe before the
+		// owner lookup below indexes the stale partition.
+		n.buildShards(len(n.sh.shards))
+	}
+	mb := &n.nodes[to]
+	s := mb.injectSlot - 1
+	var q *linkQueue
+	if s >= 0 {
+		q = &mb.links[s]
+	} else {
+		s, q = n.queueFor(to, None)
+		mb.injectSlot = s + 1
+	}
+	q.push(msg)
+	q.sealed++
+	if !mb.pend {
+		mb.pend = true
+		sh := n.sh.owner(to)
+		sh.active = append(sh.active, to)
+	}
+	n.sent++
+}
+
+// send routes one handler-originated message during the delivery phase:
+// same-shard destinations push straight into the destination ring
+// (unsealed — deliverable next round), cross-shard ones enter the crossbar
+// queue toward the owner. Unknown destinations latch the shard's first bad
+// send, adopted by the coordinator in shard order.
+func (s *shard) send(from, to NodeID, msg Msg) {
+	n := s.net
+	if !n.known(to) {
+		if s.bad == nil {
+			if to < 0 {
+				s.bad = fmt.Errorf("sim: message to invalid node %d", to)
+			} else {
+				s.bad = fmt.Errorf("sim: message to unknown node %d", to)
+			}
+		}
+		return
+	}
+	s.sent++
+	d := n.sh.owner(to)
+	if d != s {
+		d2 := d.id
+		s.out[d2] = append(s.out[d2], xmsg{msg: msg, from: from, to: to})
+		return
+	}
+	s.push(from, to, msg)
+}
+
+// push appends an unsealed message onto the (to, from) ring, recording the
+// link's first arrival of the round and the cell's pending transition.
+func (s *shard) push(from, to NodeID, msg Msg) {
+	n := s.net
+	slot, q := n.queueFor(to, from)
+	if q.count == q.sealed {
+		s.touched = append(s.touched, linkRef{to: to, slot: slot})
+	}
+	q.push(msg)
+	mb := &n.nodes[to]
+	if !mb.pend {
+		mb.pend = true
+		s.next = append(s.next, to)
+	}
+}
+
+// playRound delivers every sealed message owned by this shard: cells in
+// ascending order, each cell's inbox by its own stream. Runs on the shard's
+// worker goroutine in parallel mode.
+func (s *shard) playRound() {
+	slices.Sort(s.active)
+	n := s.net
+	for _, c := range s.active {
+		n.nodes[c].pend = false
+	}
+	for _, c := range s.active {
+		s.playCell(c)
+	}
+	s.active = s.active[:0]
+}
+
+// playCell drains cell c's sealed messages. The ready set is built in
+// sender-id order (see the package comment: slot order is shard-count
+// dependent, sender order is not) and then evolves by the legacy pick
+// discipline — draw while more than one link is ready, swap-remove on
+// drain. Messages arriving mid-turn raise count above sealed and are left
+// for the next round.
+func (s *shard) playCell(c NodeID) {
+	n := s.net
+	mb := &n.nodes[c]
+	ready := s.ready[:0]
+	links := mb.links
+	for i := range links {
+		if links[i].sealed > 0 {
+			j := len(ready)
+			ready = append(ready, int32(i))
+			for j > 0 && links[ready[j-1]].from > links[i].from {
+				ready[j], ready[j-1] = ready[j-1], ready[j]
+				j--
+			}
+		}
+	}
+	rng := &n.sh.cellRNG[c]
+	for len(ready) > 0 {
+		j := 0
+		if len(ready) > 1 {
+			j = cellIntn(rng, len(ready))
+		}
+		// Re-resolve through the node: a handler send to this very cell can
+		// grow the link table mid-turn, moving the backing array (slot
+		// indices are stable; pointers are not).
+		q := &mb.links[ready[j]]
+		m := q.pop()
+		q.sealed--
+		if q.sealed == 0 {
+			last := len(ready) - 1
+			ready[j] = ready[last]
+			ready = ready[:last]
+		}
+		s.delivered++
+		s.ctx.self = c
+		q.proc.OnMessage(&s.ctx, q.from, m)
+	}
+	s.ready = ready[:0]
+}
+
+// mergeRound is this shard's barrier half: drain every crossbar queue
+// addressed to it in shard order (global sender-cell order, stripes being
+// contiguous and ascending), seal all links touched this round, and swap in
+// the next active list. Runs per shard (concurrently in parallel mode);
+// cross-shard hand-off is safe because phases are separated by the
+// coordinator's barrier.
+func (s *shard) mergeRound() {
+	n := s.net
+	for i := range n.sh.shards {
+		src := &n.sh.shards[i]
+		if src == s {
+			continue
+		}
+		in := src.out[s.id]
+		for k := range in {
+			s.push(in[k].from, in[k].to, in[k].msg)
+		}
+		src.out[s.id] = in[:0]
+	}
+	for _, ref := range s.touched {
+		q := &n.nodes[ref.to].links[ref.slot]
+		q.sealed = q.count
+	}
+	s.touched = s.touched[:0]
+	s.active, s.next = s.next, s.active[:0]
+}
+
+// runSharded is the sealed-round Run loop: delivery phase, barrier merge
+// phase, coordinator bookkeeping (counter folding, bad-send adoption, the
+// host barrier hook), until quiescence or budget exhaustion. The step
+// budget is enforced at round granularity: a round always completes, and
+// the error is returned at the next boundary if undelivered traffic
+// remains — every round delivers at least one message, so a livelock still
+// terminates within maxSteps rounds.
+func (n *Network) runSharded(maxSteps int64) error {
+	sn := n.sh
+	if sn.builtFor != len(n.nodes) {
+		n.buildShards(len(sn.shards))
+	}
+	var start int64 = n.delivered
+	for {
+		if n.badSend != nil {
+			return n.badSend
+		}
+		anyActive := false
+		for i := range sn.shards {
+			if len(sn.shards[i].active) > 0 {
+				anyActive = true
+				break
+			}
+		}
+		if !anyActive {
+			return nil
+		}
+		if n.delivered-start >= maxSteps {
+			return stepLimitErr(maxSteps)
+		}
+		n.shardPhase((*shard).playRound)
+		n.shardPhase((*shard).mergeRound)
+		for i := range sn.shards {
+			s := &sn.shards[i]
+			n.delivered += s.delivered
+			n.sent += s.sent
+			s.delivered, s.sent = 0, 0
+			if s.bad != nil {
+				if n.badSend == nil {
+					n.badSend = s.bad
+				}
+				s.bad = nil
+			}
+		}
+		if sn.hook != nil {
+			sn.hook()
+		}
+	}
+}
+
+// shardPhase runs one phase across all shards: a goroutine per shard in
+// parallel mode, ascending shard order otherwise. The WaitGroup barrier
+// supplies the happens-before edges the crossbar hand-off relies on.
+func (n *Network) shardPhase(phase func(*shard)) {
+	sn := n.sh
+	if !sn.parallel {
+		for i := range sn.shards {
+			phase(&sn.shards[i])
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(len(sn.shards))
+	for i := range sn.shards {
+		go func(s *shard) {
+			defer wg.Done()
+			phase(s)
+		}(&sn.shards[i])
+	}
+	wg.Wait()
+}
+
+// stepSharded delivers one full round (the sharded scheduler's indivisible
+// unit) and reports whether anything was delivered.
+func (n *Network) stepSharded() (bool, error) {
+	if n.badSend != nil {
+		return false, n.badSend
+	}
+	sn := n.sh
+	if sn.builtFor != len(n.nodes) {
+		n.buildShards(len(sn.shards))
+	}
+	anyActive := false
+	for i := range sn.shards {
+		if len(sn.shards[i].active) > 0 {
+			anyActive = true
+			break
+		}
+	}
+	if !anyActive {
+		return false, nil
+	}
+	before := n.delivered
+	n.shardPhase((*shard).playRound)
+	n.shardPhase((*shard).mergeRound)
+	for i := range sn.shards {
+		s := &sn.shards[i]
+		n.delivered += s.delivered
+		n.sent += s.sent
+		s.delivered, s.sent = 0, 0
+		if s.bad != nil {
+			if n.badSend == nil {
+				n.badSend = s.bad
+			}
+			s.bad = nil
+		}
+	}
+	if sn.hook != nil {
+		sn.hook()
+	}
+	if n.badSend != nil {
+		return n.delivered > before, n.badSend
+	}
+	return n.delivered > before, nil
+}

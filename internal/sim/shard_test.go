@@ -1,0 +1,400 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+)
+
+// The sharded scheduler's determinism contract is per-cell: every cell's
+// delivery history (senders, messages, order) and the global counters are a
+// pure function of (seed, topology, protocol), independent of shard count
+// and of parallel vs sequential execution. Per-cell logs are also what can
+// be compared without races: each node appends only to its own log, which
+// is owned by exactly one shard.
+
+// floodProc relays decaying token floods across a grid: each token forwards
+// to one neighbor chosen by message content, and every third hop forks a
+// second, shorter token — branching cross-cell traffic with multi-link
+// ready sets that dies off deterministically.
+type floodProc struct {
+	id   NodeID
+	nbrs []NodeID
+	log  *[]deliveryRecord
+}
+
+func (p *floodProc) OnMessage(ctx *Context, from NodeID, msg Msg) {
+	*p.log = append(*p.log, deliveryRecord{to: ctx.Self(), from: from, msg: msg})
+	if msg.Kind != kindToken || msg.A == 0 {
+		return
+	}
+	k := int(msg.A+uint32(p.id)) % len(p.nbrs)
+	ctx.Send(p.nbrs[k], token(msg.A-1))
+	if msg.A%3 == 0 {
+		ctx.Send(p.nbrs[(k+1)%len(p.nbrs)], Msg{Kind: kindToken, A: msg.A / 2, B: msg.B + 1})
+	}
+}
+
+// buildFloodGrid wires a w×h 4-neighbor torus of floodProcs whose
+// per-node logs land in logs[id].
+func buildFloodGrid(t testing.TB, w, h int, seed int64, logs [][]deliveryRecord) *Network {
+	t.Helper()
+	n := NewNetwork(seed)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			id := NodeID(y*w + x)
+			nbrs := []NodeID{
+				NodeID(y*w + (x+1)%w),
+				NodeID(y*w + (x+w-1)%w),
+				NodeID(((y+1)%h)*w + x),
+				NodeID(((y+h-1)%h)*w + x),
+			}
+			if err := n.Add(id, &floodProc{id: id, nbrs: nbrs, log: &logs[id]}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	return n
+}
+
+// runFlood executes one flood episode under the given shard config and
+// returns the per-node logs plus counters.
+func runFlood(t testing.TB, w, h int, seed int64, shards int, parallel bool) ([][]deliveryRecord, int64, int64) {
+	t.Helper()
+	logs := make([][]deliveryRecord, w*h)
+	n := buildFloodGrid(t, w, h, seed, logs)
+	if err := n.SetShards(shards, parallel); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 6; j++ {
+		n.Inject(NodeID((j*13)%(w*h)), token(uint32(20+j*9)))
+	}
+	if err := n.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	return logs, n.Delivered(), n.Sent()
+}
+
+func diffLogs(t *testing.T, label string, want, got [][]deliveryRecord) {
+	t.Helper()
+	for id := range want {
+		if len(want[id]) != len(got[id]) {
+			t.Fatalf("%s: node %d delivered %d messages, want %d", label, id, len(got[id]), len(want[id]))
+		}
+		for i := range want[id] {
+			if want[id][i] != got[id][i] {
+				t.Fatalf("%s: node %d delivery %d = %+v, want %+v", label, id, i, got[id][i], want[id][i])
+			}
+		}
+	}
+}
+
+// TestShardCountInvariance pins the tentpole contract: the full per-cell
+// delivery schedule and the message counters are bit-identical for every
+// shard count, including counts that do not divide the cell count.
+func TestShardCountInvariance(t *testing.T) {
+	refLogs, refDel, refSent := runFlood(t, 8, 6, 42, 1, false)
+	if refDel == 0 || refDel != refSent {
+		t.Fatalf("reference episode delivered=%d sent=%d", refDel, refSent)
+	}
+	for _, shards := range []int{2, 3, 4, 7, 8, 48, 64} {
+		logs, del, sent := runFlood(t, 8, 6, 42, shards, false)
+		if del != refDel || sent != refSent {
+			t.Fatalf("shards=%d: delivered=%d sent=%d, want %d/%d", shards, del, sent, refDel, refSent)
+		}
+		diffLogs(t, fmt.Sprintf("shards=%d", shards), refLogs, logs)
+	}
+}
+
+// TestShardParallelMatchesSequential pins that concurrent shard execution
+// is unobservable: same schedule, same counters.
+func TestShardParallelMatchesSequential(t *testing.T) {
+	for _, shards := range []int{2, 4, 8} {
+		seqLogs, seqDel, seqSent := runFlood(t, 8, 6, 7, shards, false)
+		parLogs, parDel, parSent := runFlood(t, 8, 6, 7, shards, true)
+		if parDel != seqDel || parSent != seqSent {
+			t.Fatalf("shards=%d parallel: delivered=%d sent=%d, want %d/%d", shards, parDel, parSent, seqDel, seqSent)
+		}
+		diffLogs(t, fmt.Sprintf("parallel shards=%d", shards), seqLogs, parLogs)
+	}
+}
+
+// TestShardWarmResetMatchesFresh pins reset ≡ fresh for sharded state: a
+// warm-reset episode (after a different-seed run) matches a fresh network,
+// per shard and per cell.
+func TestShardWarmResetMatchesFresh(t *testing.T) {
+	for _, shards := range []int{1, 4} {
+		freshLogs, freshDel, freshSent := runFlood(t, 8, 6, 9, shards, false)
+
+		const w, h = 8, 6
+		logs := make([][]deliveryRecord, w*h)
+		n := buildFloodGrid(t, w, h, 3, logs)
+		if err := n.SetShards(shards, false); err != nil {
+			t.Fatal(err)
+		}
+		for j := 0; j < 6; j++ {
+			n.Inject(NodeID((j*13)%(w*h)), token(uint32(20+j*9)))
+		}
+		if err := n.Run(200_000); err != nil {
+			t.Fatal(err)
+		}
+
+		n.Reset(9)
+		for id := range logs {
+			logs[id] = logs[id][:0]
+		}
+		for j := 0; j < 6; j++ {
+			n.Inject(NodeID((j*13)%(w*h)), token(uint32(20+j*9)))
+		}
+		if err := n.Run(200_000); err != nil {
+			t.Fatal(err)
+		}
+		if n.Delivered() != freshDel || n.Sent() != freshSent {
+			t.Fatalf("shards=%d warm: delivered=%d sent=%d, want %d/%d", shards, n.Delivered(), n.Sent(), freshDel, freshSent)
+		}
+		diffLogs(t, fmt.Sprintf("warm shards=%d", shards), freshLogs, logs)
+	}
+}
+
+// TestShardStepMatchesRun pins that Step (one round) iterated to
+// quiescence produces Run's schedule exactly.
+func TestShardStepMatchesRun(t *testing.T) {
+	runLogs, runDel, _ := runFlood(t, 8, 6, 21, 4, false)
+
+	logs := make([][]deliveryRecord, 48)
+	n := buildFloodGrid(t, 8, 6, 21, logs)
+	if err := n.SetShards(4, false); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 6; j++ {
+		n.Inject(NodeID((j*13)%48), token(uint32(20+j*9)))
+	}
+	for {
+		progressed, err := n.Step()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !progressed {
+			break
+		}
+	}
+	if n.Delivered() != runDel {
+		t.Fatalf("stepped delivered=%d, want %d", n.Delivered(), runDel)
+	}
+	diffLogs(t, "step-vs-run", runLogs, logs)
+}
+
+// TestShardStepLimit pins budget semantics at round granularity: an
+// exhausted budget returns ErrStepLimit with traffic still pending, and a
+// follow-up Run completes the identical schedule.
+func TestShardStepLimit(t *testing.T) {
+	refLogs, refDel, _ := runFlood(t, 8, 6, 5, 4, false)
+
+	logs := make([][]deliveryRecord, 48)
+	n := buildFloodGrid(t, 8, 6, 5, logs)
+	if err := n.SetShards(4, false); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 6; j++ {
+		n.Inject(NodeID((j*13)%48), token(uint32(20+j*9)))
+	}
+	err := n.Run(10)
+	if !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("Run(10) = %v, want ErrStepLimit", err)
+	}
+	if n.Pending() == 0 {
+		t.Fatal("step limit hit but nothing pending")
+	}
+	if err := n.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if n.Delivered() != refDel {
+		t.Fatalf("resumed delivered=%d, want %d", n.Delivered(), refDel)
+	}
+	diffLogs(t, "resume-after-limit", refLogs, logs)
+}
+
+// TestShardBadSend pins deferred bad-send semantics in sharded mode, for
+// both handler sends and injections.
+func TestShardBadSend(t *testing.T) {
+	n := NewNetwork(1)
+	if err := n.Add(0, badSender{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetShards(2, false); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(0, ping())
+	if err := n.Run(100); err == nil {
+		t.Fatal("send to unknown node not surfaced")
+	}
+
+	n2 := NewNetwork(1)
+	if err := n2.Add(0, &silentProc{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := n2.SetShards(2, false); err != nil {
+		t.Fatal(err)
+	}
+	n2.Inject(99, ping())
+	if _, err := n2.Step(); err == nil {
+		t.Fatal("inject to unknown node not surfaced")
+	}
+}
+
+// TestSetShardsRequiresQuiescence pins the mode-flip guard: pending
+// messages are stored differently by the two engines, so SetShards refuses.
+func TestSetShardsRequiresQuiescence(t *testing.T) {
+	n := NewNetwork(1)
+	if err := n.Add(0, &silentProc{}); err != nil {
+		t.Fatal(err)
+	}
+	n.Inject(0, ping())
+	if err := n.SetShards(2, false); !errors.Is(err, ErrShardsPending) {
+		t.Fatalf("SetShards with pending = %v, want ErrShardsPending", err)
+	}
+	if err := n.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetShards(2, false); err != nil {
+		t.Fatalf("SetShards after quiescence: %v", err)
+	}
+	if n.Shards() != 2 {
+		t.Fatalf("Shards() = %d, want 2", n.Shards())
+	}
+	if err := n.SetShards(0, false); err != nil {
+		t.Fatal(err)
+	}
+	if n.Shards() != 0 {
+		t.Fatalf("Shards() = %d, want 0 (legacy)", n.Shards())
+	}
+}
+
+// TestShardBarrierHook pins the coordinator hook: called once per round,
+// after the round's deliveries are folded into the counters.
+func TestShardBarrierHook(t *testing.T) {
+	logs := make([][]deliveryRecord, 48)
+	n := buildFloodGrid(t, 8, 6, 13, logs)
+	if err := n.SetShards(4, false); err != nil {
+		t.Fatal(err)
+	}
+	rounds := 0
+	last := int64(0)
+	n.SetBarrierHook(func() {
+		rounds++
+		if n.Delivered() <= last {
+			t.Fatalf("round %d: delivered %d did not advance past %d", rounds, n.Delivered(), last)
+		}
+		last = n.Delivered()
+	})
+	n.Inject(0, token(30))
+	if err := n.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if rounds == 0 {
+		t.Fatal("barrier hook never ran")
+	}
+	if last != n.Delivered() {
+		t.Fatalf("final hook saw %d delivered, total %d", last, n.Delivered())
+	}
+}
+
+// TestShardWarmEpisodeAllocationFree pins that a warm sharded episode —
+// reset, inject, run — performs zero allocations once capacities are
+// established, matching the legacy warm path's discipline.
+func TestShardWarmEpisodeAllocationFree(t *testing.T) {
+	const w, h = 8, 6
+	logs := make([][]deliveryRecord, w*h)
+	n := buildFloodGrid(t, w, h, 1, logs)
+	if err := n.SetShards(4, false); err != nil {
+		t.Fatal(err)
+	}
+	episode := func() {
+		n.Reset(1)
+		for id := range logs {
+			logs[id] = logs[id][:0]
+		}
+		for j := 0; j < 6; j++ {
+			n.Inject(NodeID((j*13)%(w*h)), token(uint32(20+j*9)))
+		}
+		if err := n.Run(200_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	episode() // warm all capacities (rings, logs, crossbar, scratch)
+	episode()
+	if avg := testing.AllocsPerRun(20, episode); avg != 0 {
+		t.Fatalf("warm sharded episode allocates %.1f times", avg)
+	}
+}
+
+// TestShardInjectManyEquivalentToInjectLoop mirrors the legacy guarantee
+// for the sharded injection path.
+func TestShardInjectManyEquivalentToInjectLoop(t *testing.T) {
+	build := func(logs [][]deliveryRecord) *Network {
+		n := buildFloodGrid(t, 8, 6, 17, logs)
+		if err := n.SetShards(4, false); err != nil {
+			t.Fatal(err)
+		}
+		return n
+	}
+	ids := []NodeID{3, 9, 27, 41}
+
+	aLogs := make([][]deliveryRecord, 48)
+	a := build(aLogs)
+	a.InjectMany(ids, token(15))
+	if err := a.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+
+	bLogs := make([][]deliveryRecord, 48)
+	b := build(bLogs)
+	for _, id := range ids {
+		b.Inject(id, token(15))
+	}
+	if err := b.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+	if a.Delivered() != b.Delivered() {
+		t.Fatalf("InjectMany delivered %d, loop delivered %d", a.Delivered(), b.Delivered())
+	}
+	diffLogs(t, "injectmany", bLogs, aLogs)
+}
+
+// FuzzShardScheduleMatchesSingleShard drives random topologies, workloads,
+// and shard configurations against the single-shard reference model: the
+// per-cell schedules and counters must match bit for bit.
+func FuzzShardScheduleMatchesSingleShard(f *testing.F) {
+	f.Add(int64(1), uint8(4), uint8(5), uint8(3), uint8(3), true)
+	f.Add(int64(42), uint8(2), uint8(8), uint8(6), uint8(6), false)
+	f.Add(int64(-7), uint8(9), uint8(3), uint8(2), uint8(1), true)
+	f.Add(int64(99), uint8(64), uint8(4), uint8(4), uint8(8), false)
+	f.Fuzz(func(t *testing.T, seed int64, shards, w, h, tokens uint8, parallel bool) {
+		W := 2 + int(w%8)
+		H := 2 + int(h%8)
+		S := 2 + int(shards%63)
+		T := 1 + int(tokens%8)
+
+		run := func(s int, par bool) ([][]deliveryRecord, int64, int64) {
+			logs := make([][]deliveryRecord, W*H)
+			n := buildFloodGrid(t, W, H, seed, logs)
+			if err := n.SetShards(s, par); err != nil {
+				t.Fatal(err)
+			}
+			for j := 0; j < T; j++ {
+				n.Inject(NodeID((j*13)%(W*H)), token(uint32(10+(j*7+int(seed&15))%25)))
+			}
+			if err := n.Run(500_000); err != nil {
+				t.Fatal(err)
+			}
+			return logs, n.Delivered(), n.Sent()
+		}
+
+		refLogs, refDel, refSent := run(1, false)
+		gotLogs, gotDel, gotSent := run(S, parallel)
+		if gotDel != refDel || gotSent != refSent {
+			t.Fatalf("shards=%d: delivered=%d sent=%d, want %d/%d", S, gotDel, gotSent, refDel, refSent)
+		}
+		diffLogs(t, fmt.Sprintf("fuzz shards=%d parallel=%v", S, parallel), refLogs, gotLogs)
+	})
+}

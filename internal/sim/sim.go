@@ -111,6 +111,13 @@ type linkQueue struct {
 	buf   []Msg // ring buffer; len is a power of two
 	head  int32
 	count int32
+	// sealed is the sharded scheduler's delivery watermark: how many of the
+	// ring's head messages were sent in an earlier round and are therefore
+	// deliverable this round (count - sealed messages arrived this round and
+	// wait for the barrier). The legacy scheduler never reads or writes it;
+	// in sharded mode hdMsg/listed are unused and ALL messages, including
+	// the head, live in the ring.
+	sealed int32
 }
 
 func (q *linkQueue) push(m Msg) {
@@ -164,6 +171,10 @@ type node struct {
 	// the queueFor scan, which refreshes the cache; slots are stable, so a
 	// hit can never be wrong, only stale.
 	recvSlot int32
+	// pend marks (sharded mode only) that the node has undelivered arrivals
+	// and sits on its owner shard's active or next list — the dedup bit for
+	// those lists. Cleared as the owning shard opens the node's round.
+	pend bool
 }
 
 // alfg mirrors math/rand's additive lagged Fibonacci generator
@@ -291,11 +302,17 @@ type Network struct {
 	fast         alfg
 	fastPristine alfg
 	fastOK       bool
+	// sh is non-nil when the sealed-round sharded scheduler is selected
+	// (SetShards); every entry point dispatches on it. curSeed tracks the
+	// current episode seed so SetShards can derive per-cell streams without
+	// a Reset.
+	sh      *shardNet
+	curSeed int64
 }
 
 // NewNetwork creates an empty network with the given determinism seed.
 func NewNetwork(seed int64) *Network {
-	n := &Network{src: rand.NewSource(seed)}
+	n := &Network{src: rand.NewSource(seed), curSeed: seed}
 	n.ctx.net = n
 	return n
 }
@@ -388,19 +405,30 @@ func (n *Network) intn(k int) int {
 // reset network runs bit-for-bit identically to a freshly built one with
 // the same seed and processes.
 func (n *Network) Reset(seed int64) {
-	n.reseed(seed)
+	n.curSeed = seed
+	if n.sh == nil {
+		n.reseed(seed)
+	}
 	for b := range n.nodes {
+		n.nodes[b].pend = false
 		links := n.nodes[b].links
 		for l := range links {
 			links[l].listed = false
 			links[l].head = 0
 			links[l].count = 0
+			links[l].sealed = 0
 		}
 	}
 	n.ready = n.ready[:0]
 	n.delivered = 0
 	n.sent = 0
 	n.badSend = nil
+	if n.sh != nil {
+		// Sharded mode leaves the legacy source untouched (per-cell streams
+		// replace it); switching back to legacy with SetShards(0) reseeds on
+		// the next Reset.
+		n.shardReset(seed)
+	}
 }
 
 // reseed puts the source in the same state Seed(seed) would, preferring a
@@ -462,13 +490,31 @@ func (n *Network) Add(id NodeID, p Process) error {
 type Context struct {
 	net  *Network
 	self NodeID
+	// shard is the executing shard in sharded mode (each shard owns one
+	// Context, so parallel handlers never share one); nil under the legacy
+	// scheduler.
+	shard *shard
 }
 
 // Self returns the id of the process being invoked.
 func (c *Context) Self() NodeID { return c.self }
 
+// Shard returns the index of the shard executing this delivery, or 0 under
+// the legacy scheduler. Hosts that buffer writes per shard (the online
+// layer's blackboard) use it to pick their buffer.
+func (c *Context) Shard() int {
+	if c.shard == nil {
+		return 0
+	}
+	return int(c.shard.id)
+}
+
 // Send enqueues a message from the current process to another node.
 func (c *Context) Send(to NodeID, msg Msg) {
+	if c.shard != nil {
+		c.shard.send(c.self, to, msg)
+		return
+	}
 	c.net.enqueue(c.self, to, msg)
 }
 
@@ -543,6 +589,10 @@ func (n *Network) Inject(to NodeID, msg Msg) {
 		}
 		return
 	}
+	if n.sh != nil {
+		n.shardInject(to, msg)
+		return
+	}
 	n.injectKnown(to, msg)
 }
 
@@ -553,6 +603,18 @@ func (n *Network) Inject(to NodeID, msg Msg) {
 // slot scan, no per-node revalidation beyond the unknown-id check. The
 // online layer's monitoring rounds use it for their two full-arena waves.
 func (n *Network) InjectMany(ids []NodeID, msg Msg) {
+	if n.sh != nil {
+		for _, to := range ids {
+			if !n.known(to) {
+				if n.badSend == nil {
+					n.badSend = fmt.Errorf("sim: inject to unknown node %d", to)
+				}
+				continue
+			}
+			n.shardInject(to, msg)
+		}
+		return
+	}
 	for _, to := range ids {
 		if !n.known(to) {
 			if n.badSend == nil {
@@ -691,6 +753,9 @@ func (n *Network) deliver(i int) {
 // bit-for-bit aligned with the historical one-draw-per-delivery scheduler.
 // Run's burst path relies on this equivalence.
 func (n *Network) Step() (bool, error) {
+	if n.sh != nil {
+		return n.stepSharded()
+	}
 	if n.badSend != nil {
 		return false, n.badSend
 	}
@@ -710,6 +775,9 @@ func (n *Network) Step() (bool, error) {
 // schedule is bit-for-bit identical to stepping one message at a time,
 // which TestRunMatchesStepByStep pins.
 func (n *Network) Run(maxSteps int64) error {
+	if n.sh != nil {
+		return n.runSharded(maxSteps)
+	}
 	for steps := int64(0); ; {
 		if n.badSend != nil {
 			return n.badSend
