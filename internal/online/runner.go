@@ -88,9 +88,10 @@ type Options struct {
 	// partitioned into that many contiguous stripes and rounds are
 	// conservatively synchronized, which makes the episode's outcome
 	// bit-for-bit identical for EVERY SimShards >= 1 — the count is purely
-	// a parallelism knob (shards execute concurrently when SimShards > 1;
-	// a Tracer forces sequential execution, with identical results, so
-	// event callbacks never run concurrently). The two schedulers realize
+	// a parallelism knob (when SimShards > 1 rounds run on the network's
+	// persistent worker pool, sized to min(shards, GOMAXPROCS); a Tracer
+	// forces sequential execution, with identical results, so event
+	// callbacks never run concurrently). The two schedulers realize
 	// different — equally valid — deterministic delivery schedules, so
 	// results differ between SimShards = 0 and SimShards >= 1 but never
 	// within the sharded family.
@@ -443,8 +444,10 @@ func (r *Runner) applyShards() error {
 	if err := r.net.SetShards(r.opts.SimShards, parallel); err != nil {
 		return err
 	}
-	// SetShards rebuilds the scheduler, so the barrier hook — which folds
-	// the tallies in shard order at every round — must be re-registered.
+	// SetShards drops the barrier hook (on the warm same-count path it
+	// keeps the stripes and the persistent worker pool, but a hook from a
+	// previous episode must not leak), so the hook — which folds the
+	// tallies in shard order at every round — is re-registered every time.
 	r.net.SetBarrierHook(r.foldTallies)
 	want := 1
 	if r.opts.SimShards > 1 {

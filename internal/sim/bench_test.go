@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"runtime"
+	"testing"
+)
 
 // relay forwards a hop counter around a ring.
 type relay struct{ next NodeID }
@@ -139,6 +142,56 @@ func BenchmarkShardedRingWarm(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkShardedRoundBarrier isolates the sealed-round engine's per-round
+// coordination cost with almost no delivery work to amortize it: one
+// self-looping cell per shard, so every Step is one full round of S trivial
+// deliveries and ns/op is dominated by the round machinery. Sequential rows
+// cost two plain method loops. Parallel rows cross the persistent worker
+// pool's two barriers per round (formerly 2×S goroutine spawns plus two
+// WaitGroup cycles) — but the pool sizes itself to min(shards, GOMAXPROCS),
+// so on a single-core host the plain "par" rows run caller-only with no
+// crossings at all; the "par@p4" rows pin GOMAXPROCS=4 first, forcing a
+// real cross-goroutine barrier on any host.
+func BenchmarkShardedRoundBarrier(b *testing.B) {
+	bench := func(shards, procs int, parallel bool) func(*testing.B) {
+		return func(b *testing.B) {
+			if procs > 0 {
+				defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
+			}
+			n := NewNetwork(1)
+			for j := 0; j < shards; j++ {
+				if err := n.Add(NodeID(j), loopProc{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := n.SetShards(shards, parallel); err != nil {
+				b.Fatal(err)
+			}
+			for j := 0; j < shards; j++ {
+				n.Inject(NodeID(j), text(uint32(j)))
+			}
+			if _, err := n.Step(); err != nil { // absorb cold-path allocation
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := n.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+	b.Run("shards=1/seq", bench(1, 0, false))
+	b.Run("shards=2/seq", bench(2, 0, false))
+	b.Run("shards=2/par", bench(2, 0, true))
+	b.Run("shards=4/par", bench(4, 0, true))
+	b.Run("shards=8/par", bench(8, 0, true))
+	b.Run("shards=2/par@p4", bench(2, 4, true))
+	b.Run("shards=4/par@p4", bench(4, 4, true))
+	b.Run("shards=8/par@p4", bench(8, 4, true))
 }
 
 // BenchmarkMessageThroughputWarm is BenchmarkMessageThroughput on one

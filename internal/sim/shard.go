@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math/bits"
 	"slices"
-	"sync"
+	"sync/atomic"
 )
 
 // Sharded sealed-round scheduler.
@@ -65,14 +65,6 @@ type xmsg struct {
 	from, to NodeID
 }
 
-// linkRef is a stable reference to a link (the owning node and its slot in
-// that node's table): touched-link lists survive link-table reallocation,
-// which direct *linkQueue pointers would not.
-type linkRef struct {
-	to   NodeID
-	slot int32
-}
-
 // shard owns one contiguous stripe of cells: their mailboxes, ready
 // scratch, crossbar output queues, and counters. All fields are confined to
 // the shard's worker during the delivery phase and to the coordinator
@@ -90,9 +82,10 @@ type shard struct {
 	// directly.
 	active []NodeID
 	next   []NodeID
-	// touched lists links that received unsealed messages this round; the
-	// barrier promotes their counts to sealed.
-	touched []linkRef
+	// touched lists the links that received unsealed messages this round;
+	// the barrier promotes their counts to sealed. Arena entries never
+	// move, so the pointers need no repair machinery.
+	touched []*linkQueue
 	// out[d] is the crossbar queue toward shard d (out[id] is unused:
 	// intra-shard sends push straight into the destination ring, which is
 	// owned by this shard anyway).
@@ -110,6 +103,10 @@ type shard struct {
 	// processed in ascending order within ascending stripes — is the first
 	// one in canonical cell order).
 	bad error
+	// hadActive records whether the shard entered the current round with a
+	// nonempty active list; mergeRound diffs it against the post-swap state
+	// to keep shardNet.activeShards incremental.
+	hadActive bool
 }
 
 // shardNet is the sharded-mode extension of a Network.
@@ -118,6 +115,15 @@ type shardNet struct {
 	stripe   int32 // cells per stripe (last shard may own fewer)
 	parallel bool
 	hook     func()
+	// pool is the persistent worker pool driving parallel rounds (see
+	// worker.go); nil in sequential mode.
+	pool *shardWorkers
+	// activeShards counts shards whose active list is nonempty — maintained
+	// incrementally (shardInject on a 0→1 cell transition, mergeRound on a
+	// round's empty↔nonempty flips, buildShards from scratch) so the
+	// quiescence check per round is one load, not an O(S) scan. Atomic
+	// because mergeRound updates it from worker goroutines in parallel mode.
+	activeShards atomic.Int32
 	// cellRNG is the per-cell stream state (splitmix64), indexed by NodeID
 	// and derived from (episode seed, cell id) at Reset.
 	cellRNG []uint64
@@ -137,9 +143,9 @@ var ErrShardsPending = errors.New("sim: SetShards requires a quiescent network (
 // sealed-round sharded scheduler documented above, partitioning the cells
 // into that many contiguous stripes; results are bit-for-bit identical for
 // every shard count, so the value is purely a parallelism knob. parallel
-// enables concurrent shard execution (one worker per shard during a round);
-// sequential execution produces identical results and is forced
-// automatically when shards == 1. The network must be quiescent, and the
+// enables concurrent shard execution via a persistent worker pool sized to
+// min(shards, GOMAXPROCS) (see worker.go); sequential execution produces
+// identical results and is forced automatically when shards == 1. The network must be quiescent, and the
 // RNG state follows the CURRENT seed (pass the same seed to Reset to
 // restart the episode under the new mode).
 func (n *Network) SetShards(shards int, parallel bool) error {
@@ -148,6 +154,7 @@ func (n *Network) SetShards(shards int, parallel bool) error {
 	}
 	if shards <= 0 {
 		if n.sh != nil {
+			n.sh.stopWorkers()
 			n.sh = nil
 			// Sharded Resets leave the legacy source untouched; restore the
 			// state a legacy Reset(curSeed) would have produced.
@@ -155,9 +162,47 @@ func (n *Network) SetShards(shards int, parallel bool) error {
 		}
 		return nil
 	}
-	n.sh = &shardNet{parallel: parallel && shards > 1, seed: n.curSeed}
+	par := parallel && shards > 1
+	if sn := n.sh; sn != nil && len(sn.shards) == shards {
+		// Same stripe count: keep every stripe table, crossbar queue, and —
+		// when the mode allows — the parked worker pool, instead of
+		// rebuilding the scheduler. The online layer reselects the scheduler
+		// every episode, so this path must match a fresh build observably:
+		// the barrier hook is dropped and the per-cell streams re-derive
+		// from the current seed, exactly as a new shardNet would.
+		sn.hook = nil
+		sn.seed = n.curSeed
+		sn.seedCells(0, sn.builtFor)
+		sn.setParallel(n, par)
+		return nil
+	}
+	if n.sh != nil {
+		// Reshard: the pool is sized one worker per stripe.
+		n.sh.stopWorkers()
+	}
+	n.sh = &shardNet{seed: n.curSeed}
 	n.buildShards(shards)
+	n.sh.setParallel(n, par)
 	return nil
+}
+
+// setParallel selects the execution mode, starting the persistent worker
+// pool on a sequential→parallel flip and retiring it on the reverse one.
+func (sn *shardNet) setParallel(n *Network, par bool) {
+	sn.parallel = par
+	if par && sn.pool == nil {
+		sn.pool = newShardWorkers(n, len(sn.shards))
+	} else if !par {
+		sn.stopWorkers()
+	}
+}
+
+// stopWorkers retires the worker pool (idempotent; no-op when sequential).
+func (sn *shardNet) stopWorkers() {
+	if sn.pool != nil {
+		sn.pool.stop()
+		sn.pool = nil
+	}
 }
 
 // Shards reports the configured shard count (0 = legacy scheduler).
@@ -219,6 +264,7 @@ func (n *Network) buildShards(count int) {
 			s.out[d] = s.out[d][:0]
 		}
 	}
+	active := int32(0)
 	for i := range sn.shards {
 		s := &sn.shards[i]
 		for c := s.lo; c < s.hi; c++ {
@@ -226,7 +272,11 @@ func (n *Network) buildShards(count int) {
 				s.active = append(s.active, NodeID(c))
 			}
 		}
+		if len(s.active) > 0 {
+			active++
+		}
 	}
+	sn.activeShards.Store(active)
 	if len(sn.cellRNG) < ncells {
 		sn.cellRNG = make([]uint64, ncells)
 	}
@@ -305,7 +355,9 @@ func (n *Network) shardReset(seed int64) {
 		}
 		s.delivered, s.sent = 0, 0
 		s.bad = nil
+		s.hadActive = false
 	}
+	sn.activeShards.Store(0)
 	sn.seed = seed
 	sn.seedCells(0, sn.builtFor)
 }
@@ -322,19 +374,19 @@ func (n *Network) shardInject(to NodeID, msg Msg) {
 		n.buildShards(len(n.sh.shards))
 	}
 	mb := &n.nodes[to]
-	s := mb.injectSlot - 1
-	var q *linkQueue
-	if s >= 0 {
-		q = &mb.links[s]
-	} else {
-		s, q = n.queueFor(to, None)
-		mb.injectSlot = s + 1
+	q := mb.injectQ
+	if q == nil {
+		_, q = n.queueFor(to, None)
+		mb.injectQ = q
 	}
 	q.push(msg)
 	q.sealed++
 	if !mb.pend {
 		mb.pend = true
 		sh := n.sh.owner(to)
+		if len(sh.active) == 0 {
+			n.sh.activeShards.Add(1)
+		}
 		sh.active = append(sh.active, to)
 	}
 	n.sent++
@@ -371,9 +423,9 @@ func (s *shard) send(from, to NodeID, msg Msg) {
 // link's first arrival of the round and the cell's pending transition.
 func (s *shard) push(from, to NodeID, msg Msg) {
 	n := s.net
-	slot, q := n.queueFor(to, from)
+	_, q := n.queueFor(to, from)
 	if q.count == q.sealed {
-		s.touched = append(s.touched, linkRef{to: to, slot: slot})
+		s.touched = append(s.touched, q)
 	}
 	q.push(msg)
 	mb := &n.nodes[to]
@@ -387,6 +439,7 @@ func (s *shard) push(from, to NodeID, msg Msg) {
 // ascending order, each cell's inbox by its own stream. Runs on the shard's
 // worker goroutine in parallel mode.
 func (s *shard) playRound() {
+	s.hadActive = len(s.active) > 0
 	slices.Sort(s.active)
 	n := s.net
 	for _, c := range s.active {
@@ -408,12 +461,17 @@ func (s *shard) playCell(c NodeID) {
 	n := s.net
 	mb := &n.nodes[c]
 	ready := s.ready[:0]
-	links := mb.links
-	for i := range links {
-		if links[i].sealed > 0 {
+	// The scan walks the node's slot table; the sender-order insertion sort
+	// compares q.from through entries the sealed scan just pulled into
+	// cache. The slice header is taken before any delivery, so mid-turn
+	// first-contact appends (which touch mb.linkQs, not this backing)
+	// cannot shift the scanned range.
+	qs := mb.linkQs
+	for i := range qs {
+		if qs[i].sealed > 0 {
 			j := len(ready)
 			ready = append(ready, int32(i))
-			for j > 0 && links[ready[j-1]].from > links[i].from {
+			for j > 0 && qs[ready[j-1]].from > qs[i].from {
 				ready[j], ready[j-1] = ready[j-1], ready[j]
 				j--
 			}
@@ -425,10 +483,10 @@ func (s *shard) playCell(c NodeID) {
 		if len(ready) > 1 {
 			j = cellIntn(rng, len(ready))
 		}
-		// Re-resolve through the node: a handler send to this very cell can
-		// grow the link table mid-turn, moving the backing array (slot
-		// indices are stable; pointers are not).
-		q := &mb.links[ready[j]]
+		// Arena entries never move, so the pointer from the pre-taken
+		// backing stays valid even when a handler send to this very cell
+		// grows the node's slot table mid-turn.
+		q := qs[ready[j]]
 		m := q.pop()
 		q.sealed--
 		if q.sealed == 0 {
@@ -462,12 +520,21 @@ func (s *shard) mergeRound() {
 		}
 		src.out[s.id] = in[:0]
 	}
-	for _, ref := range s.touched {
-		q := &n.nodes[ref.to].links[ref.slot]
+	for _, q := range s.touched {
 		q.sealed = q.count
 	}
 	s.touched = s.touched[:0]
 	s.active, s.next = s.next, s.active[:0]
+	// Fold this shard's empty↔nonempty transition into the global active
+	// count. Each shard updates only its own ±1, so the counter is exact
+	// once every merge (and hence the round) completes.
+	if nowActive := len(s.active) > 0; nowActive != s.hadActive {
+		if nowActive {
+			n.sh.activeShards.Add(1)
+		} else {
+			n.sh.activeShards.Add(-1)
+		}
+	}
 }
 
 // runSharded is the sealed-round Run loop: delivery phase, barrier merge
@@ -487,84 +554,45 @@ func (n *Network) runSharded(maxSteps int64) error {
 		if n.badSend != nil {
 			return n.badSend
 		}
-		anyActive := false
-		for i := range sn.shards {
-			if len(sn.shards[i].active) > 0 {
-				anyActive = true
-				break
-			}
-		}
-		if !anyActive {
+		if sn.activeShards.Load() == 0 {
 			return nil
 		}
 		if n.delivered-start >= maxSteps {
 			return stepLimitErr(maxSteps)
 		}
-		n.shardPhase((*shard).playRound)
-		n.shardPhase((*shard).mergeRound)
-		for i := range sn.shards {
-			s := &sn.shards[i]
-			n.delivered += s.delivered
-			n.sent += s.sent
-			s.delivered, s.sent = 0, 0
-			if s.bad != nil {
-				if n.badSend == nil {
-					n.badSend = s.bad
-				}
-				s.bad = nil
-			}
-		}
-		if sn.hook != nil {
-			sn.hook()
-		}
+		n.runRound()
+		n.foldShardTallies()
 	}
 }
 
-// shardPhase runs one phase across all shards: a goroutine per shard in
-// parallel mode, ascending shard order otherwise. The WaitGroup barrier
-// supplies the happens-before edges the crossbar hand-off relies on.
-func (n *Network) shardPhase(phase func(*shard)) {
+// runRound executes one sealed round — every shard's play phase strictly
+// before every shard's merge phase. Parallel mode hands the round to the
+// persistent worker pool (two barrier crossings, see worker.go); sequential
+// mode plays then merges the stripes in ascending shard order on the
+// coordinator, allocation-free and schedule-identical by the sealed-round
+// argument in the package comment.
+func (n *Network) runRound() {
 	sn := n.sh
-	if !sn.parallel {
-		for i := range sn.shards {
-			phase(&sn.shards[i])
-		}
+	if p := sn.pool; p != nil {
+		p.round(sn.shards)
 		return
 	}
-	var wg sync.WaitGroup
-	wg.Add(len(sn.shards))
 	for i := range sn.shards {
-		go func(s *shard) {
-			defer wg.Done()
-			phase(s)
-		}(&sn.shards[i])
+		sn.shards[i].playRound()
 	}
-	wg.Wait()
+	for i := range sn.shards {
+		sn.shards[i].mergeRound()
+	}
 }
 
-// stepSharded delivers one full round (the sharded scheduler's indivisible
-// unit) and reports whether anything was delivered.
-func (n *Network) stepSharded() (bool, error) {
-	if n.badSend != nil {
-		return false, n.badSend
-	}
+// foldShardTallies is the coordinator's barrier-tail bookkeeping, shared by
+// Run and Step (it used to be copy-pasted between them): fold every shard's
+// per-round delivery/send deltas into the network totals, adopt the first
+// bad send in shard order — ascending stripes of ascending cells, so the
+// winning error is shard-count-invariant — and fire the host's barrier
+// hook.
+func (n *Network) foldShardTallies() {
 	sn := n.sh
-	if sn.builtFor != len(n.nodes) {
-		n.buildShards(len(sn.shards))
-	}
-	anyActive := false
-	for i := range sn.shards {
-		if len(sn.shards[i].active) > 0 {
-			anyActive = true
-			break
-		}
-	}
-	if !anyActive {
-		return false, nil
-	}
-	before := n.delivered
-	n.shardPhase((*shard).playRound)
-	n.shardPhase((*shard).mergeRound)
 	for i := range sn.shards {
 		s := &sn.shards[i]
 		n.delivered += s.delivered
@@ -580,6 +608,24 @@ func (n *Network) stepSharded() (bool, error) {
 	if sn.hook != nil {
 		sn.hook()
 	}
+}
+
+// stepSharded delivers one full round (the sharded scheduler's indivisible
+// unit) and reports whether anything was delivered.
+func (n *Network) stepSharded() (bool, error) {
+	if n.badSend != nil {
+		return false, n.badSend
+	}
+	sn := n.sh
+	if sn.builtFor != len(n.nodes) {
+		n.buildShards(len(sn.shards))
+	}
+	if sn.activeShards.Load() == 0 {
+		return false, nil
+	}
+	before := n.delivered
+	n.runRound()
+	n.foldShardTallies()
 	if n.badSend != nil {
 		return n.delivered > before, n.badSend
 	}

@@ -26,6 +26,8 @@ import (
 	"math/bits"
 	"math/rand"
 	"reflect"
+	"sync"
+	"sync/atomic"
 )
 
 // NodeID identifies a process in the network. Ids must be non-negative and
@@ -75,49 +77,44 @@ type Process interface {
 var ErrStepLimit = errors.New("sim: step limit exceeded before quiescence")
 
 // linkQueue is one directed link's FIFO tail: a growable ring buffer of
-// inline message slots from a fixed sender. The link's HEAD message does not
-// live here — it sits inline in the link's ready-list entry (see Network.ready),
-// so the ring only ever holds overflow (second and later undelivered
-// messages, rare at protocol fan-outs). The sender is constant per queue, so
-// slots carry only the message value; the buffer holds no pointers, so the
-// garbage collector never scans it and a pop is a plain copy.
+// inline message slots from a fixed sender. Every link lives in the
+// network's chunked arena (see linkArena); chunks never move, so a pointer
+// to an entry is stable for the network's lifetime and the hot structures
+// (node slot tables, the ready list) cache direct pointers instead of
+// re-resolving arena indices. Under the legacy scheduler the link's HEAD
+// message does not live here: it sits in the ready list's hot array
+// (see Network.ready), so the ring only
+// ever holds overflow (second and later undelivered messages, rare at
+// protocol fan-outs). The sender is constant per queue, so slots carry only
+// the message value; the buffer holds no pointers, so the garbage collector
+// never scans it and a pop is a plain copy. The struct is exactly 64 bytes —
+// one cache line per arena entry.
 type linkQueue struct {
-	// hdMsg is the link's HEAD message, valid while listed. Keeping it here
-	// — not in a parallel array beside the ready list — means listing a
-	// link is one field store plus one 8-byte pointer append, and draining
-	// one is one 8-byte swap-remove; the delivery path reads it from the
-	// same cache line as from/to below. First in the struct so the fields
-	// touched on every delivery share a line.
-	hdMsg Msg
-	from  NodeID
-	// to and slot are the link's stable logical address: the owning
-	// (destination) node and the index in its link table. Carrying them here
-	// lets a ready-list entry be a single queue pointer (see Network.ready)
-	// instead of a three-field struct, and still supports pointer repair
-	// when the owner's link table reallocates (repairReady reads the stale
-	// copy's address fields).
-	to   NodeID
-	slot int32
-	// listed marks that the link currently owns a ready-list entry (and
-	// that hdMsg holds its head message). Pending messages on the link =
-	// listed(0/1) + count. Grouped with hdMsg/from/to so the fields a send's
-	// 0→1 transition writes share the link's first cache line.
-	listed bool
-	// proc is the owning node's process, copied at link creation (links are
-	// only ever created for registered nodes, and processes are never
-	// replaced). Dispatching through it saves the nodes[to] re-index on
-	// every delivery — the fields a delivery needs all sit in this struct.
-	proc  Process
-	buf   []Msg // ring buffer; len is a power of two
-	head  int32
+	// count/head are the ring cursors a delivery's refill touches; first so
+	// they share the entry's only cache line with listed and proc.
 	count int32
+	head  int32
 	// sealed is the sharded scheduler's delivery watermark: how many of the
 	// ring's head messages were sent in an earlier round and are therefore
 	// deliverable this round (count - sealed messages arrived this round and
 	// wait for the barrier). The legacy scheduler never reads or writes it;
-	// in sharded mode hdMsg/listed are unused and ALL messages, including
+	// in sharded mode the ready list is unused and ALL messages, including
 	// the head, live in the ring.
 	sealed int32
+	// listed marks that the link currently owns a ready-list entry (whose
+	// hot slot holds its head message). Pending messages on the link =
+	// listed(0/1) + count. Legacy scheduler only.
+	listed bool
+	// from and to are the link's logical address: the fixed sender and the
+	// owning (destination) node.
+	from NodeID
+	to   NodeID
+	// proc is the owning node's process, copied at link creation (links are
+	// only ever created for registered nodes, and processes are never
+	// replaced). Dispatching through it saves the nodes[to] re-index on
+	// every delivery.
+	proc Process
+	buf  []Msg // ring buffer; len is a power of two
 }
 
 func (q *linkQueue) push(m Msg) {
@@ -149,6 +146,107 @@ func (q *linkQueue) pop() Msg {
 	return m
 }
 
+// Link storage: a chunked, append-only arena.
+//
+// All linkQueues live in fixed-size chunks that never move once allocated,
+// so an arena index — and the pointer it resolves to — stays valid for the
+// network's lifetime. That retires the pointer-repair machinery the direct-
+// pointer ready list needed (links used to carry (to, slot) address fields
+// purely so repairReady could survive a per-node table reallocation), and it
+// is what makes first-contact link creation safe while sharded rounds run in
+// parallel: an append can never move an entry another shard's worker is
+// reading. The chunk table itself is copied on growth and published
+// atomically; a stale table copy remains valid for every index allocated
+// before it was loaded.
+const (
+	linkChunkShift = 8
+	linkChunkSize  = 1 << linkChunkShift // links per chunk (16 KiB of 64-byte entries)
+	linkChunkMask  = linkChunkSize - 1
+)
+
+type linkChunk [linkChunkSize]linkQueue
+
+type linkArena struct {
+	// chunks is the atomically published chunk table. Readers load it once
+	// per access; alloc replaces it wholesale under mu, so a loaded table is
+	// immutable.
+	chunks atomic.Pointer[[]*linkChunk]
+	mu     sync.Mutex // serializes alloc (first contact on a pair — rare)
+	n      int32      // links allocated; written under mu
+}
+
+// alloc appends one zeroed link and returns its (immobile) entry. Safe for
+// concurrent use by sharded workers (each initializes only links it owns);
+// the legacy scheduler calls it single-threaded. Callers hold the returned
+// pointer — entries never move, so no index indirection survives past this
+// call (an early index-addressed ready list paid two dependent loads per
+// hot-path resolution; see DESIGN.md).
+func (a *linkArena) alloc() *linkQueue {
+	a.mu.Lock()
+	qi := a.n
+	a.n = qi + 1
+	tp := a.chunks.Load()
+	have := 0
+	if tp != nil {
+		have = len(*tp)
+	}
+	if int(qi)>>linkChunkShift == have {
+		grown := make([]*linkChunk, have, have+1)
+		if tp != nil {
+			copy(grown, *tp)
+		}
+		grown = append(grown, new(linkChunk))
+		a.chunks.Store(&grown)
+		tp = &grown
+	}
+	a.mu.Unlock()
+	return &(*tp)[qi>>linkChunkShift][qi&linkChunkMask]
+}
+
+// reset restores every allocated link to its just-created queue state (ring
+// forgotten, watermarks cleared) while keeping all storage. One contiguous
+// sweep per chunk — the warm-reset path walks packed memory instead of
+// hopping across per-node link tables.
+func (a *linkArena) reset() {
+	tp := a.chunks.Load()
+	if tp == nil {
+		return
+	}
+	left := a.n
+	for _, ch := range *tp {
+		k := left
+		if k > linkChunkSize {
+			k = linkChunkSize
+		}
+		for i := int32(0); i < k; i++ {
+			q := &ch[i]
+			q.listed = false
+			q.head = 0
+			q.count = 0
+			q.sealed = 0
+		}
+		if left -= k; left == 0 {
+			return
+		}
+	}
+}
+
+// readyHead is one hot ready-list entry: a listed link's head message, the
+// two ids its dispatch needs, and a direct pointer to the arena-resident
+// backing link, packed in 40 bytes. A scheduler pick reads one dense array
+// element plus exactly one scattered link entry (ring bookkeeping and the
+// owning process) — the head-out-of-line layout that keeps wide ready lists
+// cache-resident where direct pointers into 96-byte link records did not.
+// The pointer is cached rather than an arena index: entries never move, and
+// an index costs two extra dependent loads (chunk table, then chunk) per
+// delivery, which profiles showed on the warm monitoring path.
+type readyHead struct {
+	msg  Msg
+	q    *linkQueue
+	to   NodeID
+	from NodeID
+}
+
 // node is one registered process together with its incoming links — the
 // mailbox. Keeping the process, link table, and injection cache in one
 // struct means a send's validation, slot lookup, and push all walk from a
@@ -157,13 +255,20 @@ func (q *linkQueue) pop() Msg {
 // lifetime; fan-in equals the node's degree in the communication graph, so
 // the linear slot scan on send is over a handful of entries.
 type node struct {
-	proc  Process
-	links []linkQueue
-	// injectSlot caches 1 + the slot index of the None (external-injection)
-	// link, so full-arena injection waves skip the slot scan entirely; 0
-	// means not yet resolved. Slots are stable, so the cache never
-	// invalidates — not even across Reset.
-	injectSlot int32
+	proc Process
+	// linkQs[s] is the node's s-th incoming link (arena-resident, immobile).
+	// The slice is append-only, so a slot index is stable for the network's
+	// lifetime. The sender id is read through the pointer (q.from sits in
+	// the entry's single cache line, which every consumer touches next
+	// anyway) rather than from a parallel id array — dropping the second
+	// array keeps the node entry itself to one cache line, which inject
+	// waves stride over.
+	linkQs []*linkQueue
+	// injectQ caches the None (external-injection) link, so full-arena
+	// injection waves skip the slot scan entirely; nil means not yet
+	// resolved. Arena entries never move, so the cache never invalidates —
+	// not even across Reset.
+	injectQ *linkQueue
 	// recvSlot caches the slot that matched the last in-protocol send to
 	// this node. Steady flows (a token circling a ring, a heartbeat chain)
 	// hit it every time even when slot 0 belongs to another sender — e.g.
@@ -262,12 +367,16 @@ func captureALFG(src rand.Source, f *alfg) bool {
 type Network struct {
 	src   rand.Source
 	nodes []node // dense, indexed by NodeID
-	// ready is the exact set of nonempty links, as direct queue pointers —
-	// one 8-byte store to list a link, one 8-byte move on swap-remove. The
-	// pointed-to linkQueue carries its own (to, slot) logical address, which
-	// is how the pointer is repaired if the destination's link table
-	// reallocates (see repairReady).
-	ready     []*linkQueue
+	// links is the chunked arena holding every linkQueue in the network;
+	// nodes and the ready list hold direct pointers into it (see linkArena).
+	links linkArena
+	// ready is the legacy scheduler's ready list: the exact set of nonempty
+	// links, as a dense hot array carrying each listed link's head message,
+	// dispatch ids, and backing-link pointer. Listing a link appends one
+	// entry; draining one swap-removes it, so the draw loop's random pick
+	// touches packed memory and dereferences exactly one scattered link
+	// record — the picked one.
+	ready     []readyHead
 	delivered int64
 	sent      int64
 	// badSend records the first send to an invalid or unknown node id;
@@ -411,14 +520,8 @@ func (n *Network) Reset(seed int64) {
 	}
 	for b := range n.nodes {
 		n.nodes[b].pend = false
-		links := n.nodes[b].links
-		for l := range links {
-			links[l].listed = false
-			links[l].head = 0
-			links[l].count = 0
-			links[l].sealed = 0
-		}
 	}
+	n.links.reset()
 	n.ready = n.ready[:0]
 	n.delivered = 0
 	n.sent = 0
@@ -532,16 +635,15 @@ func (n *Network) known(id NodeID) bool {
 	return id >= 0 && int(id) < len(n.nodes) && n.nodes[id].proc != nil
 }
 
-// queueFor resolves (to, from) to the link's slot and queue, appending the
-// link on first contact. The scan is over the node's in-degree (a handful of
-// entries); the queue pointer is resolved once here so callers never
-// re-index the link table. When the append reallocates the table, the ready
-// list's direct queue pointers for this destination are repaired in place.
+// queueFor resolves (to, from) to the link's slot and entry, appending the
+// link on first contact. The scan walks the node's slot table — in-degree
+// entries, a handful per node — and callers cache the slot or entry
+// pointer, so it stays off hot paths.
 func (n *Network) queueFor(to, from NodeID) (int32, *linkQueue) {
-	links := n.nodes[to].links
-	for i := range links {
-		if links[i].from == from {
-			return int32(i), &links[i]
+	mb := &n.nodes[to]
+	for s, q := range mb.linkQs {
+		if q.from == from {
+			return int32(s), q
 		}
 	}
 	return n.addLink(to, from)
@@ -553,28 +655,13 @@ func (n *Network) queueFor(to, from NodeID) (int32, *linkQueue) {
 //go:noinline
 func (n *Network) addLink(to, from NodeID) (int32, *linkQueue) {
 	mb := &n.nodes[to]
-	links := mb.links
-	mb.links = append(mb.links, linkQueue{proc: mb.proc, from: from, to: to, slot: int32(len(links))})
-	if len(links) > 0 && &mb.links[0] != &links[0] {
-		n.repairReady(to)
-	}
-	return int32(len(mb.links) - 1), &mb.links[len(mb.links)-1]
-}
-
-// repairReady rewrites the ready list's queue pointers for one destination
-// after its link table moved. The stale pointers still reference the old
-// backing array — kept alive by those very pointers — whose entries hold the
-// same (to, slot) address fields the repair needs. First contact on a link
-// is a once-per-pair event, so this stays off every hot path.
-//
-//go:noinline
-func (n *Network) repairReady(to NodeID) {
-	links := n.nodes[to].links
-	for j, q := range n.ready {
-		if q.to == to {
-			n.ready[j] = &links[q.slot]
-		}
-	}
+	q := n.links.alloc()
+	q.from = from
+	q.to = to
+	q.proc = mb.proc
+	slot := int32(len(mb.linkQs))
+	mb.linkQs = append(mb.linkQs, q)
+	return slot, q
 }
 
 // Inject delivers an external event into a node's input buffer, e.g. a job
@@ -626,23 +713,37 @@ func (n *Network) InjectMany(ids []NodeID, msg Msg) {
 	}
 }
 
+// listReady reserves one ready-list entry and returns it for the caller to
+// fill in place. Appending a composite literal instead materializes the
+// 40-byte entry on the stack and copies it over — measurable at
+// injection-wave rates — so the two listing sites write their fields
+// straight into the reserved slot.
+func (n *Network) listReady() *readyHead {
+	if len(n.ready) == cap(n.ready) {
+		n.ready = append(n.ready, readyHead{})
+	} else {
+		n.ready = n.ready[:len(n.ready)+1]
+	}
+	return &n.ready[len(n.ready)-1]
+}
+
 // injectKnown enqueues from the external (None) link of a validated id.
 func (n *Network) injectKnown(to NodeID, msg Msg) {
 	mb := &n.nodes[to]
-	s := mb.injectSlot - 1
-	var q *linkQueue
-	if s >= 0 {
-		q = &mb.links[s]
-	} else {
-		s, q = n.queueFor(to, None)
-		mb.injectSlot = s + 1
+	q := mb.injectQ
+	if q == nil {
+		_, q = n.queueFor(to, None)
+		mb.injectQ = q
 	}
 	if !q.listed {
-		// 0→1 transition: the message becomes the link's head, inline in
-		// the link's own head slot; the ring is not touched.
+		// 0→1 transition: the message becomes the link's head, written into
+		// the ready list's hot array; the ring is not touched.
 		q.listed = true
-		q.hdMsg = msg
-		n.ready = append(n.ready, q)
+		h := n.listReady()
+		h.msg = msg
+		h.q = q
+		h.to = to
+		h.from = None
 	} else {
 		if int(q.count) == len(q.buf) {
 			q.grow()
@@ -684,9 +785,10 @@ func (n *Network) enqueue(from, to NodeID, msg Msg) {
 	var q *linkQueue
 	if uint(int(to)) < uint(len(n.nodes)) {
 		mb := &n.nodes[to]
-		if s := mb.recvSlot; int(s) < len(mb.links) && mb.links[s].from == from {
-			q = &mb.links[s]
+		if s := mb.recvSlot; int(s) < len(mb.linkQs) && mb.linkQs[s].from == from {
+			q = mb.linkQs[s]
 		} else if mb.proc != nil {
+			var s int32
 			s, q = n.queueFor(to, from)
 			mb.recvSlot = s
 		}
@@ -701,11 +803,14 @@ func (n *Network) enqueue(from, to NodeID, msg Msg) {
 	}
 	if !q.listed {
 		// 0→1 transition: the message becomes the link's head, written
-		// straight into the link's head slot — the dominant send shape at
-		// protocol fan-outs, and it never touches the ring buffer.
+		// straight into the ready list's hot array — the dominant send
+		// shape at protocol fan-outs, and it never touches the ring buffer.
 		q.listed = true
-		q.hdMsg = msg
-		n.ready = append(n.ready, q)
+		h := n.listReady()
+		h.msg = msg
+		h.q = q
+		h.to = to
+		h.from = from
 	} else {
 		// Overflow behind an undelivered head: push, by hand (the inliner
 		// refuses push because of its grow call, and the call overhead is
@@ -725,12 +830,14 @@ func (n *Network) enqueue(from, to NodeID, msg Msg) {
 // drains — no stale entries, no compaction scans. Destinations were
 // validated when the message was enqueued, so delivery cannot fail.
 func (n *Network) deliver(i int) {
-	q := n.ready[i]
-	m := q.hdMsg
+	h := &n.ready[i]
+	q := h.q
+	m := h.msg
+	to, from := h.to, h.from
 	if q.count > 0 {
-		// Refill: promote the ring's head into the link's head slot (pop,
+		// Refill: promote the ring's head into the entry's hot slot (pop,
 		// by hand); the entry keeps its position, preserving pick order.
-		q.hdMsg = q.buf[q.head]
+		h.msg = q.buf[q.head]
 		q.head = (q.head + 1) & int32(len(q.buf)-1)
 		q.count--
 	} else {
@@ -740,8 +847,8 @@ func (n *Network) deliver(i int) {
 		n.ready = n.ready[:last]
 	}
 	n.delivered++
-	n.ctx.self = q.to
-	q.proc.OnMessage(&n.ctx, q.from, m)
+	n.ctx.self = to
+	q.proc.OnMessage(&n.ctx, from, m)
 }
 
 // Step delivers one pending message (if any) and reports whether it did.
@@ -797,11 +904,15 @@ func (n *Network) Run(maxSteps int64) error {
 			}
 			// deliver(0), by hand, with the swap-remove specialized to the
 			// singleton ready list (deliver stays a call; at this rate the
-			// call overhead alone is measurable).
-			q := n.ready[0]
-			m := q.hdMsg
+			// call overhead alone is measurable). The hot-array pointer is
+			// re-taken every iteration: OnMessage may list links and grow
+			// the backing array.
+			h := &n.ready[0]
+			q := h.q
+			m := h.msg
+			to, from := h.to, h.from
 			if q.count > 0 {
-				q.hdMsg = q.buf[q.head]
+				h.msg = q.buf[q.head]
 				q.head = (q.head + 1) & int32(len(q.buf)-1)
 				q.count--
 			} else {
@@ -809,8 +920,8 @@ func (n *Network) Run(maxSteps int64) error {
 				n.ready = n.ready[:0]
 			}
 			n.delivered++
-			n.ctx.self = q.to
-			q.proc.OnMessage(&n.ctx, q.from, m)
+			n.ctx.self = to
+			q.proc.OnMessage(&n.ctx, from, m)
 			steps++
 		}
 		if n.badSend != nil {
@@ -861,10 +972,12 @@ func (n *Network) Run(maxSteps int64) error {
 			hi, _ := bits.Mul64(n.modM*uint64(uint32(v)), uint64(k))
 			i = int(hi)
 		}
-		q := n.ready[i]
-		m := q.hdMsg
+		h := &n.ready[i]
+		q := h.q
+		m := h.msg
+		to, from := h.to, h.from
 		if q.count > 0 {
-			q.hdMsg = q.buf[q.head]
+			h.msg = q.buf[q.head]
 			q.head = (q.head + 1) & int32(len(q.buf)-1)
 			q.count--
 		} else {
@@ -874,8 +987,8 @@ func (n *Network) Run(maxSteps int64) error {
 			n.ready = n.ready[:last]
 		}
 		n.delivered++
-		n.ctx.self = q.to
-		q.proc.OnMessage(&n.ctx, q.from, m)
+		n.ctx.self = to
+		q.proc.OnMessage(&n.ctx, from, m)
 		steps++
 	}
 }

@@ -1,0 +1,200 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Persistent shard workers.
+//
+// The first sharded engine spawned one goroutine per shard per phase — 2×S
+// goroutine creations plus two fresh WaitGroup cycles every round, a cost
+// the benchmarks could see even at S=1 because sealed rounds are short (a
+// lone token chain delivers ~S messages per round). This pool replaces the
+// spawning with long-lived workers parked on buffered wake channels, with
+// two structural changes on top:
+//
+//   - The pool is sized to the host, not the shard count: W =
+//     min(shards, GOMAXPROCS) participants, each owning a contiguous block
+//     of shards per round. Goroutines beyond the core count cannot add
+//     parallelism — they only add hand-offs — so a 1-core host runs W=1
+//     (the coordinator plays and merges every stripe itself, with no
+//     cross-goroutine crossings at all) while an N-core host gets exactly
+//     the barrier it can use. The width is fixed at pool creation
+//     (SetShards); a later GOMAXPROCS change takes effect on the next
+//     reshard.
+//   - The coordinator joins the round as the first participant instead of
+//     sleeping through it (caller-joins), so only W-1 goroutines exist and
+//     a round costs two coordinator-visible barrier crossings: W-1 channel
+//     sends to wake the workers, then one receive when the last merge
+//     lands. The play→merge hand-off in between is internal — the last
+//     participant out of the play phase re-arms the phase counter and
+//     releases everyone (itself included) through per-participant flip
+//     channels — so all plays still complete strictly before any merge
+//     begins.
+//
+// Scheduling stays bit-identical by the sealed-round argument: every
+// delivery order the engine fixes is per-cell, phases never overlap, and
+// neither the shard→participant assignment nor the within-block play order
+// is observable (the sequential engine already plays ascending stripes, and
+// blocks are ascending too).
+//
+// Memory model: the coordinator's wake send happens-before the worker's
+// round (pre-round injections and hook effects are visible to handlers);
+// every playRound happens-before every mergeRound via the playLeft atomic
+// countdown plus the flip-channel sends that follow its zero crossing; and
+// every mergeRound happens-before the coordinator's done receive via the
+// mergeLeft countdown plus the done send — the same edges the per-phase
+// WaitGroups used to provide.
+//
+// Teardown: the pool deliberately holds no reference to the Network. A wake
+// channel carries a block of shards per round and the worker clears the
+// slice before re-parking, so a parked pool keeps nothing of the network
+// alive; an abandoned Network (dropped without SetShards(0) or a reshard)
+// becomes unreachable as usual, and the runtime.AddCleanup hook registered
+// at pool creation closes the wake channels and lets the workers exit.
+type shardWorkers struct {
+	// wake[i] (buffered 1) carries worker i's shard block once per round
+	// (worker i owns block i+1; the coordinator owns block 0); closing it
+	// terminates the worker.
+	wake []chan []shard
+	// flip (buffered 1 each) releases the participants from the internal
+	// play→merge barrier: slot i for worker i, the last slot for the
+	// coordinator. The last participant out of the play phase fills all of
+	// them.
+	flip []chan struct{}
+	// done (buffered 1) is filled by the last participant out of the merge
+	// phase — one coordinator wakeup per round (a self-delivery when the
+	// coordinator merges last).
+	done chan struct{}
+	// playLeft/mergeLeft count down the participants still inside the
+	// current phase; whoever takes a counter to zero re-arms it for the
+	// next round before releasing anyone, so the counters are always at
+	// their starting value when a round begins.
+	playLeft  atomic.Int32
+	mergeLeft atomic.Int32
+
+	n       int32 // participants: len(wake) workers + the coordinator
+	once    sync.Once
+	cleanup runtime.Cleanup
+}
+
+// newShardWorkers sizes the pool to min(count, GOMAXPROCS) participants and
+// starts the W-1 parked workers (the coordinator is the W-th), plus a GC
+// hook that tears them down if net is collected without an explicit
+// teardown.
+func newShardWorkers(net *Network, count int) *shardWorkers {
+	w := runtime.GOMAXPROCS(0)
+	if w > count {
+		w = count
+	}
+	if w < 1 {
+		w = 1
+	}
+	p := &shardWorkers{
+		wake: make([]chan []shard, w-1),
+		flip: make([]chan struct{}, w),
+		done: make(chan struct{}, 1),
+		n:    int32(w),
+	}
+	p.playLeft.Store(p.n)
+	p.mergeLeft.Store(p.n)
+	for i := range p.flip {
+		p.flip[i] = make(chan struct{}, 1)
+	}
+	for i := range p.wake {
+		p.wake[i] = make(chan []shard, 1)
+		go p.work(i)
+	}
+	p.cleanup = runtime.AddCleanup(net, (*shardWorkers).stop, p)
+	return p
+}
+
+// round plays one sealed round across all shards: wake the workers with
+// their blocks, join as the first participant, wait for the last merge.
+// Zero allocations.
+func (p *shardWorkers) round(shards []shard) {
+	w := int(p.n)
+	if w == 1 {
+		// Degenerate width (single-core host): the coordinator is the only
+		// participant — no counters, no crossings, just the two phase loops.
+		for i := range shards {
+			shards[i].playRound()
+		}
+		for i := range shards {
+			shards[i].mergeRound()
+		}
+		return
+	}
+	per := (len(shards) + w - 1) / w
+	for j := 1; j < w; j++ {
+		lo := min(j*per, len(shards))
+		p.wake[j-1] <- shards[lo:min(lo+per, len(shards))]
+	}
+	mine := shards[:per]
+	for i := range mine {
+		mine[i].playRound()
+	}
+	if p.playLeft.Add(-1) == 0 {
+		p.playLeft.Store(p.n)
+		for _, c := range p.flip {
+			c <- struct{}{}
+		}
+	}
+	<-p.flip[w-1]
+	for i := range mine {
+		mine[i].mergeRound()
+	}
+	if p.mergeLeft.Add(-1) == 0 {
+		p.mergeLeft.Store(p.n)
+		p.done <- struct{}{}
+	}
+	<-p.done
+}
+
+// work is one worker's loop: park, play its block, cross the internal
+// barrier, merge the block, signal if last, re-park.
+func (p *shardWorkers) work(i int) {
+	wake, flip := p.wake[i], p.flip[i]
+	for {
+		blk, ok := <-wake
+		if !ok {
+			return
+		}
+		for i := range blk {
+			blk[i].playRound()
+		}
+		if p.playLeft.Add(-1) == 0 {
+			p.playLeft.Store(p.n)
+			for _, c := range p.flip {
+				c <- struct{}{}
+			}
+		}
+		<-flip
+		for i := range blk {
+			blk[i].mergeRound()
+		}
+		// Drop the block before re-parking so the parked pool roots nothing
+		// of the network (GC-driven teardown depends on it). Done before
+		// the final countdown: after the done send the coordinator may drop
+		// the network at any moment.
+		blk = nil
+		_ = blk
+		if p.mergeLeft.Add(-1) == 0 {
+			p.mergeLeft.Store(p.n)
+			p.done <- struct{}{}
+		}
+	}
+}
+
+// stop terminates the workers and cancels the GC hook. Idempotent, and safe
+// from the cleanup goroutine itself.
+func (p *shardWorkers) stop() {
+	p.once.Do(func() {
+		p.cleanup.Stop()
+		for _, c := range p.wake {
+			close(c)
+		}
+	})
+}

@@ -1,0 +1,315 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// Tests for the persistent worker pool (worker.go) and the shared
+// coordinator bookkeeping (foldShardTallies): pool lifecycle across
+// reshard/reuse/teardown, GC-driven teardown of abandoned pools, schedule
+// parity between pool-driven parallel rounds and the sequential reference,
+// and the bad-send first-error-wins latch.
+
+// badSenderTo fires one message to a specific unregistered node id on every
+// delivery, so concurrent shards can latch distinguishable errors.
+type badSenderTo struct{ target NodeID }
+
+func (b badSenderTo) OnMessage(ctx *Context, _ NodeID, _ Msg) {
+	ctx.Send(b.target, ping())
+}
+
+// TestFoldShardTalliesBadSendFirstErrorWins pins the adoption order of the
+// deferred bad-send latch: when several shards latch an error in the same
+// round, the coordinator adopts the lowest shard's — which, stripes being
+// ascending runs of ascending cells, is the first error in canonical cell
+// order and therefore shard-count-invariant.
+func TestFoldShardTalliesBadSendFirstErrorWins(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		n := NewNetwork(1)
+		// Two cells, two stripes: cell 0 (shard 0) sends to unknown 99,
+		// cell 1 (shard 1) to unknown 77 — both in the same round.
+		if err := n.Add(0, badSenderTo{target: 99}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Add(1, badSenderTo{target: 77}); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.SetShards(2, parallel); err != nil {
+			t.Fatal(err)
+		}
+		n.Inject(0, ping())
+		n.Inject(1, ping())
+		err := n.Run(100)
+		if err == nil {
+			t.Fatalf("parallel=%v: bad sends not surfaced", parallel)
+		}
+		if want := "unknown node 99"; !strings.Contains(err.Error(), want) {
+			t.Fatalf("parallel=%v: adopted %q, want shard 0's %q", parallel, err, want)
+		}
+		// The latch must hold first-wins across later rounds too.
+		if err2 := n.Run(100); err2 == nil || err2.Error() != err.Error() {
+			t.Fatalf("parallel=%v: latch moved from %q to %q", parallel, err, err2)
+		}
+	}
+}
+
+// floodEpisode injects the standard flood workload and runs to quiescence.
+func floodEpisode(t *testing.T, n *Network, cells int) {
+	t.Helper()
+	for j := 0; j < 6; j++ {
+		n.Inject(NodeID((j*13)%cells), token(uint32(20+j*9)))
+	}
+	if err := n.Run(200_000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitGoroutinesAtMost polls until the process goroutine count drops to at
+// most limit (worker exits are asynchronous after a pool stop).
+func waitGoroutinesAtMost(t *testing.T, limit int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		g := runtime.NumGoroutine()
+		if g <= limit {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines = %d, want <= %d", g, limit)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestShardWorkerPoolLifecycle pins the pool across every mode transition:
+// parallel SetShards parks one worker per stripe; a same-count SetShards
+// reuses the parked pool (the online layer reselects the scheduler every
+// episode); a reshard retires the old pool and sizes a new one; flipping to
+// sequential or legacy mode drains all workers.
+func TestShardWorkerPoolLifecycle(t *testing.T) {
+	// The pool sizes itself to min(shards, GOMAXPROCS); pin GOMAXPROCS so
+	// worker counts are host-independent (1-core CI included).
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(8))
+	base := runtime.NumGoroutine()
+	refLogs, refDel, refSent := runFlood(t, 4, 4, 31, 1, false)
+	waitGoroutinesAtMost(t, base)
+
+	logs := make([][]deliveryRecord, 16)
+	n := buildFloodGrid(t, 4, 4, 31, logs)
+	if err := n.SetShards(4, true); err != nil {
+		t.Fatal(err)
+	}
+	// S-1 workers: the coordinator joins the round as shard 0's participant.
+	if g := runtime.NumGoroutine(); g < base+3 {
+		t.Fatalf("after SetShards(4, true): %d goroutines, want >= %d", g, base+3)
+	}
+	pool := n.sh.pool
+	if pool == nil {
+		t.Fatal("parallel mode without a worker pool")
+	}
+
+	floodEpisode(t, n, 16)
+	if n.Delivered() != refDel || n.Sent() != refSent {
+		t.Fatalf("pool episode delivered=%d sent=%d, want %d/%d", n.Delivered(), n.Sent(), refDel, refSent)
+	}
+	diffLogs(t, "pool episode", refLogs, logs)
+
+	// Same-count reselect while the workers are parked: the pool survives.
+	if err := n.SetShards(4, true); err != nil {
+		t.Fatal(err)
+	}
+	if n.sh.pool != pool {
+		t.Fatal("same-count SetShards rebuilt the worker pool")
+	}
+	n.Reset(31)
+	for id := range logs {
+		logs[id] = logs[id][:0]
+	}
+	floodEpisode(t, n, 16)
+	diffLogs(t, "reused pool episode", refLogs, logs)
+
+	// Reshard while parked: new stripe count, new pool, old workers drain.
+	if err := n.SetShards(8, true); err != nil {
+		t.Fatal(err)
+	}
+	if n.sh.pool == pool {
+		t.Fatal("reshard kept a pool sized for the old stripe count")
+	}
+	waitGoroutinesAtMost(t, base+7)
+	n.Reset(31)
+	for id := range logs {
+		logs[id] = logs[id][:0]
+	}
+	floodEpisode(t, n, 16)
+	diffLogs(t, "resharded pool episode", refLogs, logs)
+
+	// Parallel → sequential on the same count retires the pool...
+	if err := n.SetShards(8, false); err != nil {
+		t.Fatal(err)
+	}
+	if n.sh.pool != nil {
+		t.Fatal("sequential mode kept a worker pool")
+	}
+	waitGoroutinesAtMost(t, base)
+	// ...and legacy mode from a parallel pool drains too.
+	if err := n.SetShards(8, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.SetShards(0, false); err != nil {
+		t.Fatal(err)
+	}
+	waitGoroutinesAtMost(t, base)
+}
+
+// spawnAbandonedPool runs a parallel episode and drops the network without
+// SetShards(0) — the pool must not keep it (or its workers) alive.
+//
+//go:noinline
+func spawnAbandonedPool(t *testing.T) {
+	logs := make([][]deliveryRecord, 16)
+	n := buildFloodGrid(t, 4, 4, 3, logs)
+	if err := n.SetShards(4, true); err != nil {
+		t.Fatal(err)
+	}
+	floodEpisode(t, n, 16)
+}
+
+// TestShardWorkerPoolReleasedByGC pins the finalizer half of the pool's
+// lifecycle: an abandoned parallel network becomes unreachable (parked
+// workers root no network state), its cleanup stops the pool, and the
+// workers exit.
+func TestShardWorkerPoolReleasedByGC(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4)) // ensure workers exist
+	base := runtime.NumGoroutine()
+	spawnAbandonedPool(t)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		if runtime.NumGoroutine() <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned pool still alive: %d goroutines, want <= %d", runtime.NumGoroutine(), base)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestShardResetMidEpisodeParallel pins Reset with a live worker pool and
+// sealed traffic still pending: the aborted episode leaves no residue, and
+// the rerun matches the sequential reference bit for bit.
+func TestShardResetMidEpisodeParallel(t *testing.T) {
+	refLogs, refDel, _ := runFlood(t, 8, 6, 11, 4, false)
+
+	logs := make([][]deliveryRecord, 48)
+	n := buildFloodGrid(t, 8, 6, 11, logs)
+	if err := n.SetShards(4, true); err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 6; j++ {
+		n.Inject(NodeID((j*13)%48), token(uint32(20+j*9)))
+	}
+	if err := n.Run(10); !errors.Is(err, ErrStepLimit) {
+		t.Fatalf("Run(10) = %v, want ErrStepLimit", err)
+	}
+	if n.Pending() == 0 {
+		t.Fatal("expected pending traffic at the aborted barrier")
+	}
+
+	n.Reset(11)
+	for id := range logs {
+		logs[id] = logs[id][:0]
+	}
+	floodEpisode(t, n, 48)
+	if n.Delivered() != refDel {
+		t.Fatalf("post-reset delivered=%d, want %d", n.Delivered(), refDel)
+	}
+	diffLogs(t, "reset mid-episode", refLogs, logs)
+}
+
+// TestShardAlternatingSequentialParallelStress drives many episodes on ONE
+// network while flipping execution mode and stripe count between episodes —
+// the -race companion for the pool's start/reuse/retire transitions. Every
+// episode must reproduce the same schedule (shard-count invariance makes
+// one reference serve all configurations).
+func TestShardAlternatingSequentialParallelStress(t *testing.T) {
+	// Force real cross-goroutine barriers even on a single-core host.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	refLogs, refDel, refSent := runFlood(t, 8, 6, 23, 1, false)
+
+	counts := []int{4, 4, 8, 2, 8, 4, 2, 2, 8, 4, 4, 8}
+	logs := make([][]deliveryRecord, 48)
+	n := buildFloodGrid(t, 8, 6, 23, logs)
+	for ep, shards := range counts {
+		parallel := ep%2 == 1
+		if err := n.SetShards(shards, parallel); err != nil {
+			t.Fatalf("episode %d: %v", ep, err)
+		}
+		n.Reset(23)
+		for id := range logs {
+			logs[id] = logs[id][:0]
+		}
+		floodEpisode(t, n, 48)
+		if n.Delivered() != refDel || n.Sent() != refSent {
+			t.Fatalf("episode %d (shards=%d parallel=%v): delivered=%d sent=%d, want %d/%d",
+				ep, shards, parallel, n.Delivered(), n.Sent(), refDel, refSent)
+		}
+		diffLogs(t, fmt.Sprintf("episode %d shards=%d parallel=%v", ep, shards, parallel), refLogs, logs)
+	}
+}
+
+// TestShardParallelParityRandomized sweeps seeds × shard counts comparing
+// pool-driven parallel rounds against the sequential reference — the
+// fuzz-style parity net under the persistent-worker engine.
+func TestShardParallelParityRandomized(t *testing.T) {
+	// Force real cross-goroutine barriers even on a single-core host.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	for seed := int64(100); seed < 106; seed++ {
+		for _, shards := range []int{2, 4, 8} {
+			seqLogs, seqDel, seqSent := runFlood(t, 6, 5, seed, shards, false)
+			parLogs, parDel, parSent := runFlood(t, 6, 5, seed, shards, true)
+			if parDel != seqDel || parSent != seqSent {
+				t.Fatalf("seed=%d shards=%d: parallel delivered=%d sent=%d, want %d/%d",
+					seed, shards, parDel, parSent, seqDel, seqSent)
+			}
+			diffLogs(t, fmt.Sprintf("seed=%d shards=%d", seed, shards), seqLogs, parLogs)
+		}
+	}
+}
+
+// TestShardParallelWarmEpisodeAllocationFree extends the warm zero-alloc
+// guard to pool-driven rounds: once the workers exist and capacities are
+// established, a full parallel episode — reset, inject, run — allocates
+// nothing (channel barrier crossings are allocation-free).
+func TestShardParallelWarmEpisodeAllocationFree(t *testing.T) {
+	// Force real cross-goroutine barriers even on a single-core host.
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const w, h = 8, 6
+	logs := make([][]deliveryRecord, w*h)
+	n := buildFloodGrid(t, w, h, 1, logs)
+	if err := n.SetShards(4, true); err != nil {
+		t.Fatal(err)
+	}
+	episode := func() {
+		n.Reset(1)
+		for id := range logs {
+			logs[id] = logs[id][:0]
+		}
+		for j := 0; j < 6; j++ {
+			n.Inject(NodeID((j*13)%(w*h)), token(uint32(20+j*9)))
+		}
+		if err := n.Run(200_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	episode() // warm all capacities (rings, logs, crossbar, scratch)
+	episode()
+	if avg := testing.AllocsPerRun(20, episode); avg != 0 {
+		t.Fatalf("warm parallel episode allocates %.1f times", avg)
+	}
+}
